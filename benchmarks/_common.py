@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark module reproduces one experiment from the paper (see the
+experiment index in DESIGN.md): it computes the paper's bound, measures the
+implementation, prints a paper-style table, and persists it under
+``benchmarks/results/`` so EXPERIMENTS.md can reference the exact rows.
+
+Wall-clock timing is recorded by pytest-benchmark with a single round
+(``pedantic(rounds=1)``) — these are multi-second simulations; statistical
+repetition happens across seeds inside each experiment instead.
+"""
+
+from __future__ import annotations
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result table and persist it to benchmarks/results/<name>.txt."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    print()
+    print(text)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w", encoding="utf-8") as fh:
+        fh.write(text)
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

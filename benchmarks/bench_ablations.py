@@ -1,0 +1,93 @@
+"""Ablation benches — the design choices DESIGN.md calls out.
+
+Three ablations on the DCSA, all on the same churned workload:
+
+1. **Tick interval** (Delta H): more frequent updates tighten estimates
+   (tau shrinks) at a message cost — skew improves sub-linearly while
+   message volume grows linearly; the B0 validity floor also moves.
+2. **Delay regime**: uniform random delays in [0, T] vs always-T vs zero.
+   The bound G(n) only depends on T, but measured skew tracks the *actual*
+   delay asymmetry the adversary can extract.
+3. **Tick staggering**: randomized first-tick phases vs synchronized
+   bursts — verifies the guarantees do not depend on staggering (they
+   cannot: it is subjective-time behaviour), only event-queue burstiness.
+
+Each row re-validates the envelope so ablations cannot silently break
+correctness.
+"""
+
+from __future__ import annotations
+
+from repro import SystemParams
+from repro.analysis import TextTable, envelope_violations
+from repro.harness import ExperimentConfig, configs, run_experiment
+from repro.network.topology import path_edges
+
+from _common import emit, run_once
+
+
+def _run() -> tuple[str, bool]:
+    ok = True
+    n = 16
+
+    # 1. Tick interval sweep.
+    table = TextTable(
+        ["tick interval", "B0 floor moves", "global skew", "max edge skew",
+         "messages", "violations"],
+        title="ablation: update period Delta H (churned path, n=16)",
+    )
+    for dh in (0.25, 0.5, 1.0):
+        params = SystemParams.for_network(n, tick_interval=dh)
+        cfg = configs.backbone_churn(n, horizon=150.0, seed=6)
+        cfg = ExperimentConfig(
+            params=params,
+            initial_edges=cfg.initial_edges,
+            churn=cfg.churn,
+            clock_spec="split",
+            horizon=150.0,
+            seed=6,
+        )
+        res = run_experiment(cfg)
+        chk = envelope_violations(res.record, params)
+        ok &= chk.compliant
+        table.add_row(
+            [dh, params.b0, res.max_global_skew, res.max_local_skew,
+             res.transport_stats["sent"], chk.violations]
+        )
+    txt = table.render()
+
+    # 2. Delay regime sweep.
+    table2 = TextTable(
+        ["delay regime", "global skew", "max edge skew", "violations"],
+        title="ablation: channel delay regime (static path, split clocks)",
+    )
+    for spec in ("zero", "half", "uniform", "max"):
+        cfg = configs.static_path(n, horizon=150.0, seed=6, clock_spec="split")
+        cfg.delay_spec = spec
+        res = run_experiment(cfg)
+        chk = envelope_violations(res.record, res.params)
+        ok &= chk.compliant
+        table2.add_row([spec, res.max_global_skew, res.max_local_skew, chk.violations])
+    txt += "\n" + table2.render()
+
+    # 3. Tick staggering.
+    table3 = TextTable(
+        ["staggered first ticks", "global skew", "max edge skew", "violations"],
+        title="ablation: tick staggering",
+    )
+    for stagger in (True, False):
+        cfg = configs.static_path(n, horizon=150.0, seed=6, clock_spec="split")
+        cfg.stagger_ticks = stagger
+        res = run_experiment(cfg)
+        chk = envelope_violations(res.record, res.params)
+        ok &= chk.compliant
+        table3.add_row([stagger, res.max_global_skew, res.max_local_skew,
+                        chk.violations])
+    txt += "\n" + table3.render()
+    return txt, ok
+
+
+def test_bench_ablations(benchmark):
+    txt, ok = run_once(benchmark, _run)
+    emit("ablations", txt)
+    assert ok, "an ablation broke the envelope"

@@ -1,0 +1,126 @@
+"""Experiment B-vs-baselines — what the gradient property buys.
+
+Compares the DCSA against the three baselines on identical workloads
+(same seeds, same topology schedules, same clock assignments):
+
+* ``max``  — jump-to-max ([18]-style): optimal global skew, no gradient;
+* ``static`` — the [13] constant-B0 gradient algorithm the DCSA extends:
+  fine on static networks, contract-less on new edges;
+* ``free`` — no synchronization (drift calibration).
+
+Two workloads:
+
+1. **mobile ad-hoc** (the intro's TDMA motivation): neighbour skew is what
+   matters; all synchronizing algorithms do fine here because the network
+   is benign — this calibrates the "easy case".
+2. **adversarial reveal** (beta execution + long-range shortcut): the
+   worst case the paper is about. Max-sync propagates a Theta(n T) jump
+   wave across old edges (its local skew ~ global skew); the DCSA phases
+   the new constraint in and keeps every old edge within its stable bound.
+
+Expected shape: comparable global skew for dcsa/max/static; local skew
+after the reveal — dcsa ~ B0, max ~ n*T, static violates its B0 contract.
+"""
+
+from __future__ import annotations
+
+from repro import SystemParams
+from repro.analysis import TextTable, envelope_violations
+from repro.core import skew_bounds as sb
+from repro.harness import configs, run_experiment
+from repro.lowerbound.executions import build_execution_pair
+from repro.lowerbound.mask import DelayMask
+from repro.lowerbound.scenario import _MaskedRun
+from repro.network.topology import path_edges
+from repro.sim.events import PRIORITY_SAMPLE, PRIORITY_TOPOLOGY
+
+from _common import emit, run_once
+
+N_REVEAL = 24
+
+
+def _mobile_rows(table: TextTable) -> None:
+    for algo in ("dcsa", "max", "static", "free"):
+        res = run_experiment(
+            configs.mobile_network(16, horizon=200.0, seed=3, algorithm=algo)
+        )
+        chk = envelope_violations(res.record, res.params)
+        table.add_row(
+            [
+                f"mobile/{algo}",
+                res.max_global_skew,
+                res.max_local_skew,
+                chk.violations,
+                res.transport_stats["sent"],
+            ]
+        )
+
+
+def _reveal_peaks() -> dict[str, float]:
+    params = SystemParams.for_network(N_REVEAL, rho=0.05)
+    edges = path_edges(N_REVEAL)
+    pair = build_execution_pair(
+        list(range(N_REVEAL)), edges, DelayMask({}, params.max_delay), 0, params
+    )
+    t_insert = 1.05 * pair.full_skew_time(N_REVEAL - 1, params.rho)
+    peaks: dict[str, float] = {}
+    for algo in ("dcsa", "max", "static"):
+        run = _MaskedRun(list(range(N_REVEAL)), edges, pair.beta_clocks,
+                         pair.beta_policy, params, algo)
+        run.sim.schedule_at(
+            t_insert,
+            lambda run=run: run.graph.add_edge(0, N_REVEAL - 1, run.sim.now),
+            priority=PRIORITY_TOPOLOGY,
+        )
+        peak = {"v": 0.0}
+        horizon = t_insert + 40.0
+
+        def sample(run=run, peak=peak):
+            t = run.sim.now
+            for u, v in edges:  # old-path edges only
+                peak["v"] = max(peak["v"], abs(run.logical(u, t) - run.logical(v, t)))
+            if t + 0.5 <= horizon:
+                run.sim.schedule_at(t + 0.5, sample, priority=PRIORITY_SAMPLE)
+
+        run.sim.schedule_at(t_insert + 0.5, sample, priority=PRIORITY_SAMPLE)
+        run.run_until(horizon)
+        peaks[algo] = peak["v"]
+    peaks["_params"] = params  # type: ignore[assignment]
+    return peaks
+
+
+def _run() -> tuple[str, bool]:
+    table = TextTable(
+        ["workload/algorithm", "global skew", "max edge skew",
+         "envelope violations", "messages"],
+        title="baselines on the mobile ad-hoc workload (identical seeds)",
+    )
+    _mobile_rows(table)
+    txt = table.render()
+
+    peaks = _reveal_peaks()
+    params: SystemParams = peaks.pop("_params")  # type: ignore[assignment]
+    stable = sb.stable_local_skew(params)
+    table2 = TextTable(
+        ["algorithm", "peak old-edge skew after reveal", "stable bound",
+         "within stable bound"],
+        title=f"adversarial reveal (beta execution, n={N_REVEAL}): "
+              "who protects the old edges?",
+    )
+    for algo, peak in peaks.items():
+        table2.add_row([algo, peak, stable, peak <= stable + 1e-9])
+    txt += "\n" + table2.render()
+    ok = peaks["dcsa"] <= stable + 1e-9
+    ok &= peaks["max"] > 1.5 * peaks["dcsa"]
+    txt += (
+        "\nmax-sync's revealed Lmax tears a Theta(nT) wave through the old "
+        "path;\nthe gradient algorithms cap each old edge near B0 — the "
+        "paper's core claim.\n"
+    )
+    return txt, ok
+
+
+def test_bench_baselines(benchmark):
+    txt, ok = run_once(benchmark, _run)
+    emit("baselines", txt)
+    assert ok, "baseline comparison shape failed"

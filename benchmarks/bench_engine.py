@@ -1,0 +1,58 @@
+"""Infrastructure benchmark — discrete-event engine throughput.
+
+Not a paper experiment: tracks the wall-clock cost of the simulation
+substrate so regressions in the hot path (event queue, lazy clock sync,
+transport) are caught. Reports events/second for ring workloads of
+increasing size and for the churn-heavy mobile workload.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis import TextTable
+from repro.harness import configs, run_experiment
+
+from _common import emit, run_once
+
+
+def _throughput(cfg) -> tuple[int, float]:
+    t0 = time.perf_counter()
+    res = run_experiment(cfg)
+    dt = time.perf_counter() - t0
+    return res.events_dispatched, res.events_dispatched / dt
+
+
+def _run() -> str:
+    table = TextTable(
+        ["workload", "events", "events/sec"],
+        title="engine throughput",
+        floatfmt=".0f",
+    )
+    for n in (16, 64):
+        cfg = configs.static_ring(n, horizon=100.0, seed=0)
+        cfg.track_edges = False
+        events, rate = _throughput(cfg)
+        table.add_row([f"ring n={n}", events, rate])
+    cfg = configs.mobile_network(32, horizon=60.0, seed=0)
+    cfg.track_edges = False
+    events, rate = _throughput(cfg)
+    table.add_row(["mobile n=32", events, rate])
+    return table.render()
+
+
+def test_bench_engine_report(benchmark):
+    txt = run_once(benchmark, _run)
+    emit("engine", txt)
+
+
+def test_bench_engine_ring64(benchmark):
+    """Single timed run of the ring-64 workload (regression anchor)."""
+
+    def fn():
+        cfg = configs.static_ring(64, horizon=60.0, seed=0)
+        cfg.track_edges = False
+        return run_experiment(cfg).events_dispatched
+
+    events = run_once(benchmark, fn)
+    assert events > 10_000

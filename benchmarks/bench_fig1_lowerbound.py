@@ -1,0 +1,127 @@
+"""Experiment F1/T4.1 — the Figure 1 construction and Theorem 4.1.
+
+Runs the paper's two-chain lower-bound scenario end to end for a sweep of
+network sizes:
+
+* Omega(n) skew is built across chain A while the masked end segments keep
+  u and v "protected" (panel a) — the measured skew is exactly
+  T * dist_M(u, v), linear in n;
+* at T1, Lemma 4.3 selects B-chain nodes and new edges appear between them
+  carrying initial skew in [I - S, I] (panel b — checked);
+* the algorithm then needs time to pull the new edges under the stable
+  bound; Theorem 4.1 says *no* algorithm's guarantee can decay faster than
+  Omega(n / s_bar), and Corollary 6.14 says the DCSA's guarantee decays in
+  O(n / B0) — we report the measured settle age against both, and the
+  envelope-decay (guarantee) time which is the Theta(n/B0) quantity.
+
+Scale note: the paper's constants (k = (T/128) n/s_bar, I > 32 G s_bar/(T n))
+only bite at astronomically large n; we use k=1 and an adaptive I (see
+repro/lowerbound/scenario.py). The *shapes* — skew linear in n, settle
+bounded by the Theta(n/B0) guarantee, guarantee time linear in n — are what
+is reproduced.
+"""
+
+from __future__ import annotations
+
+from repro import SystemParams
+from repro.analysis import TextTable
+from repro.core import skew_bounds as sb
+from repro.lowerbound import run_figure1_experiment
+
+from _common import emit, run_once
+
+NS = (12, 16, 24, 32)
+
+
+def _run() -> tuple[str, bool]:
+    ok = True
+    table = TextTable(
+        [
+            "n",
+            "skew(u,v) at T2",
+            "new edges",
+            "init skew in [I-S, I]",
+            "max settle age",
+            "guarantee (Cor 6.14)",
+            "Thm 4.1 scale",
+        ],
+        title="F1/T4.1: two-chain construction (DCSA, rho=0.05, k=1)",
+    )
+    uv_skews = []
+    guarantees = []
+    for n in NS:
+        params = SystemParams.for_network(n, rho=0.05)
+        res = run_figure1_experiment(params, k=1, sample_interval=1.0)
+        uv_skews.append(res.skew_uv_t2)
+        guarantees.append(res.theory_reduction_ceiling)
+        in_window = all(
+            res.requested_initial_skew - res.gap_slack - 1e-6
+            <= e.initial_skew
+            <= res.requested_initial_skew + 1e-6
+            for e in res.new_edges
+        )
+        ok &= in_window
+        settle = res.max_reduction_time
+        if settle is not None:
+            ok &= settle <= res.theory_reduction_ceiling + 1e-6
+        table.add_row(
+            [
+                n,
+                res.skew_uv_t2,
+                len(res.new_edges),
+                in_window,
+                settle,
+                res.theory_reduction_ceiling,
+                res.theory_reduction_floor,
+            ]
+        )
+    txt = table.render()
+    growth = uv_skews[-1] / max(uv_skews[0], 1e-12)
+    g_growth = guarantees[-1] / max(guarantees[0], 1e-12)
+    txt += (
+        f"\npanel (a) skew grew x{growth:.2f} over a x{NS[-1] / NS[0]:.2f} size "
+        "increase (theory: linear in n)\n"
+        f"the DCSA's guarantee-decay time grew x{g_growth:.2f} "
+        "(Cor 6.14: Theta(n/B0), matching the Omega(n/s_bar) lower bound's shape)\n"
+        "(settle age 0 at these n: the adaptive I sits below s_bar — the "
+        "constants only separate at larger n, see the table below)\n"
+    )
+
+    # Larger scale with low drift: the built-up B-chain span exceeds s_bar,
+    # so the injected edge genuinely has skew to work off and the settle
+    # age becomes a real measurement.
+    table2 = TextTable(
+        ["n", "I (injected skew)", "s_bar", "settle age measured",
+         "guarantee (Cor 6.14)", "Thm 4.1 scale"],
+        title="F1/T4.1 reduction dynamics at larger n (rho=0.02)",
+    )
+    for n in (48, 64):
+        params = SystemParams.for_network(
+            n, rho=0.02, discovery_bound=1.2, tick_interval=0.4
+        )
+        span = params.max_delay * (n // 2 - 2)
+        i_skew = 0.8 * span
+        res = run_figure1_experiment(
+            params, k=1, initial_skew=i_skew, sample_interval=1.0,
+            measure_horizon=1.5 * sb.stabilization_time(params),
+        )
+        settle = res.max_reduction_time
+        if settle is not None:
+            ok &= settle <= res.theory_reduction_ceiling + 1e-6
+        table2.add_row(
+            [n, res.requested_initial_skew, res.stable_skew, settle,
+             res.theory_reduction_ceiling, res.theory_reduction_floor]
+        )
+    txt += "\n" + table2.render()
+    txt += (
+        "\nmeasured settle <= the Theta(n/B0) guarantee; per-instance settle "
+        "can be faster\n(the lower bound constrains the *guarantee function*, "
+        "not each instance).\n"
+    )
+    return txt, ok
+
+
+def test_bench_fig1(benchmark):
+    txt, ok = run_once(benchmark, _run)
+    emit("fig1_lowerbound", txt)
+    assert ok, "Figure 1 construction postconditions failed"

@@ -1,0 +1,109 @@
+"""Experiment T6.9 — the global skew bound (Theorem 6.9).
+
+Reproduces the paper's claim that in any (T+D)-interval-connected dynamic
+network the DCSA's global skew is at most
+
+    G(n) = ((1 + rho) * T + 2 * rho * D) * (n - 1),
+
+i.e. grows linearly in n and never exceeds the bound. We sweep n over
+path networks with adversarial split clocks and worst-case (maximal)
+delays — the drift/delay regime the bound is tight against — plus a
+rotating-backbone run where *no* edge is stable, the regime the theorem is
+actually proved for.
+
+Two adversaries are reported:
+
+* the *drift/delay* adversary (split extremal clocks, maximal delays):
+  bounds hold with a large margin — under random/benign dynamics the DCSA
+  self-corrects, so the measured skew plateaus (startup transient bound);
+* the *shifting* adversary of Section 4 (masked beta execution): the skew
+  it extracts is T * (n - 1) — genuinely linear in n, tracking the G(n)
+  slope within a constant factor. This is the regime the Theta(n) shape of
+  Theorem 6.9 is about.
+
+Expected shape: bound never crossed anywhere; adversarial measured skew
+linear in n with measured/bound ratio roughly constant.
+"""
+
+from __future__ import annotations
+
+from repro import SystemParams
+from repro.analysis import TextTable
+from repro.core import skew_bounds as sb
+from repro.harness import configs, run_experiment
+from repro.lowerbound import run_masking_experiment
+
+from _common import emit, run_once
+
+NS = (8, 16, 32, 48)
+SEEDS = (0, 1, 2)
+
+
+def _measure(n: int) -> dict:
+    worst = 0.0
+    for seed in SEEDS:
+        cfg = configs.static_path(n, horizon=200.0, seed=seed, clock_spec="split")
+        cfg.delay_spec = "max"
+        res = run_experiment(cfg)
+        worst = max(worst, res.max_global_skew)
+    return {"n": n, "measured": worst, "bound": sb.global_skew_bound(res.params)}
+
+
+def _run_sweep() -> tuple[str, bool]:
+    table = TextTable(
+        ["n", "measured skew (worst of seeds)", "G(n)", "measured/bound", "bound held"],
+        title="T6.9: global skew vs network size (path, split clocks, max delays)",
+    )
+    rows = [_measure(n) for n in NS]
+    all_held = all(r["measured"] <= r["bound"] + 1e-9 for r in rows)
+    for r in rows:
+        table.add_row(
+            [r["n"], r["measured"], r["bound"], r["measured"] / r["bound"],
+             r["measured"] <= r["bound"] + 1e-9]
+        )
+    growth = rows[-1]["measured"] / max(rows[0]["measured"], 1e-12)
+    size = NS[-1] / NS[0]
+    txt = table.render()
+    txt += (
+        f"\nbenign-adversary skew grew x{growth:.2f} over a x{size:.0f} size "
+        "increase: without the shifting adversary the DCSA self-corrects and "
+        "the\nmeasured skew plateaus at the startup transient — see the "
+        "adversarial table below for the Theta(n) regime.\n"
+    )
+    # The no-stable-edge regime.
+    cfg = configs.rotating_backbone(16, horizon=250.0, window=30.0, seed=5)
+    res = run_experiment(cfg)
+    all_held &= res.max_global_skew <= sb.global_skew_bound(res.params) + 1e-9
+    txt += (
+        f"rotating-backbone (no stable edge, n=16): measured "
+        f"{res.max_global_skew:.3f} <= G(n) = "
+        f"{sb.global_skew_bound(res.params):.3f}\n"
+    )
+
+    # The shifting adversary (Section 4): extracts Theta(n) skew, showing
+    # the bound's linear shape is real and not slack.
+    table2 = TextTable(
+        ["n", "adversarial skew (beta)", "G(n)", "measured/bound", "bound held"],
+        title="T6.9 shape: the Section 4 shifting adversary (masked chain)",
+    )
+    adv = []
+    for n in (8, 16, 32):
+        params = SystemParams.for_network(n, rho=0.05)
+        mres = run_masking_experiment(params, check_indistinguishability=False)
+        bound = sb.global_skew_bound(params)
+        all_held &= mres.skew <= bound + 1e-9
+        adv.append(mres.skew)
+        table2.add_row([n, mres.skew, bound, mres.skew / bound,
+                        mres.skew <= bound + 1e-9])
+    txt += "\n" + table2.render()
+    txt += (
+        f"\nadversarial skew grew x{adv[-1] / adv[0]:.2f} over a x4 size "
+        "increase — the Theta(n) shape of Theorem 6.9.\n"
+    )
+    return txt, all_held
+
+
+def test_bench_global_skew(benchmark):
+    txt, all_held = run_once(benchmark, _run_sweep)
+    emit("global_skew", txt)
+    assert all_held, "Theorem 6.9 bound violated"

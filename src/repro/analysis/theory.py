@@ -1,0 +1,61 @@
+"""Reference theory curves for side-by-side comparison with measurements.
+
+Thin vectorised wrappers over :mod:`repro.core.skew_bounds`, shaped the way
+the benchmark tables consume them (arrays over sweeps of ``n``, ``B_0`` or
+edge age).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import skew_bounds
+from ..params import SystemParams
+
+__all__ = [
+    "envelope_curve",
+    "global_skew_curve",
+    "adaptation_curve",
+    "stable_skew_curve",
+    "lower_bound_time_curve",
+]
+
+
+def envelope_curve(params: SystemParams, ages: np.ndarray) -> np.ndarray:
+    """``s(n, I, age)`` of Corollary 6.13 over an array of edge ages."""
+    ages = np.asarray(ages, dtype=float)
+    return np.fromiter(
+        (skew_bounds.dynamic_local_skew(params, float(a)) for a in ages),
+        dtype=float,
+        count=ages.size,
+    )
+
+
+def global_skew_curve(params: SystemParams, ns: np.ndarray) -> np.ndarray:
+    """``G(n)`` of Theorem 6.9 over an array of network sizes."""
+    ns = np.asarray(ns, dtype=int)
+    return np.array([skew_bounds.global_skew_bound(params, int(n)) for n in ns])
+
+
+def adaptation_curve(params: SystemParams, b0s: np.ndarray) -> np.ndarray:
+    """Corollary 6.14's ``O(n/B_0)`` adaptation time over a ``B_0`` sweep."""
+    out = []
+    for b0 in np.asarray(b0s, dtype=float):
+        out.append(skew_bounds.adaptation_time(params.with_b0(float(b0))))
+    return np.array(out)
+
+
+def stable_skew_curve(params: SystemParams, b0s: np.ndarray) -> np.ndarray:
+    """Stable local skew ``B_0 + 2 rho W`` over a ``B_0`` sweep."""
+    out = []
+    for b0 in np.asarray(b0s, dtype=float):
+        out.append(skew_bounds.stable_local_skew(params.with_b0(float(b0))))
+    return np.array(out)
+
+
+def lower_bound_time_curve(params: SystemParams, ns: np.ndarray) -> np.ndarray:
+    """Theorem 4.1's ``lambda * n / s_bar`` time scale over an ``n`` sweep."""
+    out = []
+    for n in np.asarray(ns, dtype=int):
+        out.append(skew_bounds.lb_reduction_time(params.with_n(int(n))))
+    return np.array(out)

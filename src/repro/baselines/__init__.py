@@ -1,0 +1,15 @@
+"""Baseline algorithms the paper's DCSA is compared against.
+
+* :class:`MaxSyncNode` -- jump-to-max ([18]-style): optimal global skew, no
+  gradient property;
+* :class:`StaticGradientNode` -- the static oblivious gradient algorithm
+  [13] (constant ``B_0``), which the DCSA generalises; breaks its per-edge
+  contract on newly formed edges;
+* :class:`FreeRunningNode` -- unsynchronised control (``L = H``).
+"""
+
+from .free_running import FreeRunningNode
+from .max_sync import MaxSyncNode
+from .static_gradient import StaticGradientNode
+
+__all__ = ["FreeRunningNode", "MaxSyncNode", "StaticGradientNode"]

@@ -1,0 +1,36 @@
+"""Free-running control baseline (no synchronization at all).
+
+``L_u = H_u``: the logical clock is the raw hardware clock.  Neighbouring
+clocks diverge at up to ``2 rho`` per time unit, so both global and local
+skew grow linearly in time without bound.  This calibrates plots (how bad is
+"doing nothing") and validates the measurement pipeline: the measured drift
+of this baseline must match ``2 rho t`` exactly when clocks are pinned at
+the drift extremes.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.node import ClockSyncNode
+
+__all__ = ["FreeRunningNode"]
+
+
+class FreeRunningNode(ClockSyncNode):
+    """A node whose logical clock is its hardware clock; sends nothing."""
+
+    def start(self) -> None:
+        """Nothing to schedule."""
+
+    def _handle_message(self, sender: int, payload: Any) -> None:
+        """Ignore messages."""
+
+    def _handle_discover_add(self, other: int) -> None:
+        """Ignore discoveries."""
+
+    def _handle_discover_remove(self, other: int) -> None:
+        """Ignore discoveries."""
+
+    def _on_timer(self, key: Any) -> None:  # pragma: no cover - never armed
+        raise RuntimeError("free-running node has no timers")

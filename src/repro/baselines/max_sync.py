@@ -1,0 +1,66 @@
+"""The max-algorithm baseline (global-skew-optimal, gradient-free).
+
+The classic approach to clock synchronization ([18] Srikanth-Toueg style, as
+discussed in the paper's related work): every node tracks the largest
+logical clock value it has heard of and jumps straight to it.  This attains
+asymptotically optimal *global* skew -- the same ``G(n)`` envelope as the
+DCSA, via the identical max-propagation argument (Lemma 6.8) -- but provides
+**no gradient property**: two adjacent nodes can be nearly ``G(n)`` apart,
+e.g. right after an edge forms between the max-source side of the network
+and a node whose updates were delayed.
+
+In the benchmark comparisons this baseline calibrates what "no gradient
+guarantee" costs: its worst-case *local* skew grows linearly in ``n``
+(tracking global skew) while the DCSA's stays near ``B_0``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.node import ClockSyncNode
+
+__all__ = ["MaxSyncNode"]
+
+_TICK = "tick"
+
+
+class MaxSyncNode(ClockSyncNode):
+    """Jump-to-max synchronization: ``L_u := Lmax_u`` after every event.
+
+    Keeps the same messaging pattern as the DCSA (periodic ``<L, Lmax>``
+    updates to every believed neighbour every ``Delta H`` subjective time)
+    so message budgets are identical in comparisons; only the clock rule
+    differs.
+    """
+
+    def __init__(self, *args: Any, tick_stagger: float = 0.0, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self.upsilon: set[int] = set()
+        self._tick_stagger = float(tick_stagger)
+
+    def start(self) -> None:
+        """Arm the first tick."""
+        self.set_subjective_timer(_TICK, self._tick_stagger)
+
+    def _handle_discover_add(self, v: int) -> None:
+        self.send(v, (self._L, self._Lmax))
+        self.upsilon.add(v)
+        self._jump_logical(self._Lmax)
+
+    def _handle_discover_remove(self, v: int) -> None:
+        self.upsilon.discard(v)
+
+    def _handle_message(self, v: int, payload: tuple[float, float]) -> None:
+        _l_v, lmax_v = payload
+        self._raise_max(lmax_v)
+        self._jump_logical(self._Lmax)
+
+    def _on_timer(self, key: Any) -> None:
+        if key != _TICK:  # pragma: no cover - defensive
+            raise RuntimeError(f"unknown timer {key!r}")
+        payload = (self._L, self._Lmax)
+        for v in sorted(self.upsilon):
+            self.send(v, payload)
+        self._jump_logical(self._Lmax)
+        self.set_subjective_timer(_TICK, self.params.tick_interval)

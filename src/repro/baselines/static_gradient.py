@@ -1,0 +1,53 @@
+"""The static oblivious-gradient baseline (constant ``B``).
+
+The Locher-Wattenhofer algorithm [13] -- the basis of the paper's DCSA --
+was designed for *static* networks: a node never raises its clock more than
+a fixed budget ``B_0`` above any neighbour's estimate.  Applying it
+unchanged to a dynamic network (which is exactly this class: the DCSA with
+``B(age) === B_0``) exposes the problem the paper's dynamic ``B`` solves:
+
+* a **newly formed edge** between distant nodes carries skew up to
+  ``Theta(n) >> B_0``, instantly violating the algorithm's per-edge
+  contract -- there is no honest dynamic bound it satisfies; and
+* the node on the *ahead* side of a new edge becomes blocked immediately,
+  so its logical clock falls behind ``Lmax`` for a long stretch even though
+  the network gave no advance warning (with the DCSA the constraint phases
+  in gradually instead).
+
+The comparison benchmarks quantify both effects: contract-violation
+magnitude/duration on new edges, and blocked-time statistics.  On *static*
+networks this node behaves like the original [13] algorithm and its local
+skew stays near ``B_0`` -- which the static-network integration tests check.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.dcsa import DCSANode
+
+__all__ = ["StaticGradientNode"]
+
+
+class StaticGradientNode(DCSANode):
+    """The DCSA with the constant tolerance ``B(age) = B_0`` for all ages.
+
+    Everything else -- messaging, Gamma/Upsilon bookkeeping, lost timers,
+    ``AdjustClock`` structure -- is inherited, so measured differences are
+    attributable purely to the shape of ``B``.
+    """
+
+    def tolerance(self, v: int) -> float | None:
+        """Constant ``B_0`` for tracked neighbours (``None`` otherwise)."""
+        if v in self.gamma:
+            return self.params.b0
+        return None
+
+    def _adjust_clock(self) -> None:
+        ceiling = self._Lmax
+        b0 = self.params.b0
+        for _v, row in self.gamma.items():
+            cand = row.l_est + b0
+            if cand < ceiling:
+                ceiling = cand
+        self._jump_logical(ceiling)

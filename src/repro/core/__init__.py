@@ -1,0 +1,23 @@
+"""The paper's primary contribution: the DCSA and its proven bounds.
+
+* :class:`DCSANode` -- Algorithm 2 (Section 5);
+* :class:`BFunction` -- the decaying per-edge tolerance;
+* :class:`ClockSyncNode` -- shared node machinery (lazy clocks, timers);
+* :mod:`repro.core.skew_bounds` -- every closed-form bound of Sections 4 & 6.
+"""
+
+from .bfunction import BFunction
+from .dcsa import DCSANode, Update
+from .estimates import NeighborEstimate, NeighborTable
+from .node import ClockSyncNode
+from . import skew_bounds
+
+__all__ = [
+    "BFunction",
+    "ClockSyncNode",
+    "DCSANode",
+    "NeighborEstimate",
+    "NeighborTable",
+    "Update",
+    "skew_bounds",
+]

@@ -1,0 +1,105 @@
+"""Neighbour-estimate bookkeeping (the sets Gamma and the per-neighbour vars).
+
+Algorithm 2 keeps, per node ``u``:
+
+* ``Upsilon_u`` -- nodes ``u`` believes it has an edge to (owned by the node
+  class as a plain set);
+* ``Gamma_u subseteq Upsilon_u`` -- nodes heard from within the last
+  ``Delta T'`` subjective units; **only these constrain the logical clock**;
+* ``C^v_u`` -- ``u``'s hardware reading when ``v`` last *entered* Gamma
+  (drives the edge-age argument of the ``B`` function);
+* ``L^v_u`` -- ``u``'s running estimate of ``v``'s logical clock, advanced at
+  ``u``'s hardware rate between messages and refreshed on every receipt
+  (Lemma 6.5's contract).
+
+:class:`NeighborTable` packages Gamma with its per-neighbour variables.  The
+estimate values are lazy in the same sense as the node's ``L``: the owning
+node calls :meth:`advance` from its ``_sync`` with the elapsed subjective
+time ``dh``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+__all__ = ["NeighborEstimate", "NeighborTable"]
+
+
+class NeighborEstimate:
+    """Per-tracked-neighbour state (one row of the Gamma table)."""
+
+    __slots__ = ("added_h", "l_est")
+
+    def __init__(self, added_h: float, l_est: float) -> None:
+        #: Owner's hardware reading when the neighbour entered Gamma (C^v_u).
+        self.added_h = added_h
+        #: Estimate of the neighbour's logical clock (L^v_u), lazy.
+        self.l_est = l_est
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"NeighborEstimate(added_h={self.added_h!r}, l_est={self.l_est!r})"
+
+
+class NeighborTable:
+    """The set Gamma with per-neighbour variables ``C^v_u`` and ``L^v_u``."""
+
+    __slots__ = ("_rows",)
+
+    def __init__(self) -> None:
+        self._rows: dict[int, NeighborEstimate] = {}
+
+    def __contains__(self, v: int) -> bool:
+        return v in self._rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._rows)
+
+    def items(self) -> Iterator[tuple[int, NeighborEstimate]]:
+        """Iterate ``(neighbour id, estimate row)`` pairs."""
+        return iter(self._rows.items())
+
+    def get(self, v: int) -> NeighborEstimate | None:
+        """Row for ``v`` or ``None``."""
+        return self._rows.get(v)
+
+    def add(self, v: int, added_h: float, l_est: float) -> None:
+        """Insert ``v`` into Gamma, recording ``C^v_u = added_h``.
+
+        Pseudocode lines 17--20: only called when ``v`` is *not* in Gamma;
+        re-adding an existing row would clobber ``C^v_u`` and violate
+        Lemma 6.10's bookkeeping, so it raises.
+        """
+        if v in self._rows:
+            raise ValueError(f"neighbour {v!r} already tracked")
+        self._rows[v] = NeighborEstimate(added_h, l_est)
+
+    def refresh(self, v: int, l_est: float) -> None:
+        """Refresh ``L^v_u`` from a newly received message.
+
+        FIFO delivery makes the newest message carry the largest logical
+        value the node has seen from ``v``, but drift asymmetry can make the
+        locally-advanced estimate exceed the fresh report; the estimate is
+        monotone (an estimate may only move forward) to keep Lemma 6.5's
+        guarantee ``L^v_u(t) >= L_v(t - tau)``.
+        """
+        row = self._rows.get(v)
+        if row is None:
+            raise KeyError(f"neighbour {v!r} not tracked")
+        if l_est > row.l_est:
+            row.l_est = l_est
+
+    def remove(self, v: int) -> bool:
+        """Drop ``v`` from Gamma (returns whether it was present)."""
+        return self._rows.pop(v, None) is not None
+
+    def advance(self, dh: float) -> None:
+        """Advance every ``L^v_u`` by ``dh`` (owner's subjective elapsed time)."""
+        for row in self._rows.values():
+            row.l_est += dh
+
+    def clear(self) -> None:
+        """Drop every row."""
+        self._rows.clear()

@@ -1,0 +1,227 @@
+"""Base class for clock-synchronization nodes.
+
+Every algorithm node (the paper's DCSA and all baselines) shares the same
+mechanics, implemented once here:
+
+* **Lazy continuous state.**  Between discrete events, the logical clock
+  ``L``, the max estimate ``Lmax`` and all neighbour estimates advance at the
+  node's *hardware* clock rate (Section 5).  We store their values as of the
+  hardware clock reading ``_h_last`` and materialise exactly on event entry
+  (:meth:`_sync`): ``dh`` elapsed subjective time is added to every lazy
+  quantity.  This is exact -- no integration error -- because all lazy
+  quantities drift at precisely the hardware rate.
+
+* **Subjective timers.**  ``set timer(dt)`` in the pseudocode means: fire
+  when *my hardware clock* has advanced by ``dt``.  :meth:`set_subjective_timer`
+  converts via the clock's exact inverse and registers a cancellable,
+  keyed simulator event (re-arming a key cancels the previous timer, which
+  is what ``cancel(lost(v))``/``set timer(...)`` pairs compile to).
+
+* **Event entry points.**  The transport calls :meth:`on_message`,
+  :meth:`on_discover_add`, :meth:`on_discover_remove`; the kernel calls
+  timer callbacks.  Each entry point syncs lazy state, then dispatches to
+  the algorithm-specific handler (``_handle_*`` / ``_on_timer``).
+
+Subclasses implement the five ``_handle_*``/``_on_timer`` hooks and
+:meth:`start`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..params import SystemParams
+from ..sim.clocks import HardwareClock
+from ..sim.events import PRIORITY_TIMER, ScheduledEvent
+from ..sim.simulator import Simulator
+from ..sim.tracing import NULL_TRACE, TraceRecorder
+
+__all__ = ["ClockSyncNode"]
+
+
+class ClockSyncNode:
+    """Common machinery for event-driven clock-sync algorithms.
+
+    Parameters
+    ----------
+    node_id:
+        Graph node id this automaton controls.
+    sim:
+        The simulation kernel (source of real time and timers).
+    clock:
+        This node's hardware clock (``H(0) = 0``).
+    transport:
+        Message fabric; must expose ``send(u, v, payload)``.
+    params:
+        Shared model parameters.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        sim: Simulator,
+        clock: HardwareClock,
+        transport: Any,
+        params: SystemParams,
+        *,
+        trace: TraceRecorder | None = None,
+    ) -> None:
+        self.node_id = node_id
+        self.sim = sim
+        self.clock = clock
+        self.transport = transport
+        self.params = params
+        self.trace = trace if trace is not None else NULL_TRACE
+        # Lazy state, valid as of hardware reading _h_last (== H(_t_last)).
+        self._h_last = 0.0
+        self._t_last = 0.0
+        self._L = 0.0
+        self._Lmax = 0.0
+        # Keyed timers.
+        self._timers: dict[Any, ScheduledEvent] = {}
+        # Stats.
+        self.jumps = 0
+        self.total_jump = 0.0
+        self.messages_sent = 0
+
+    # ------------------------------------------------------------------ #
+    # Clock reads
+    # ------------------------------------------------------------------ #
+
+    def hardware_clock(self, t: float | None = None) -> float:
+        """``H_u(t)`` (defaults to the current simulation time)."""
+        return self.clock.value(self.sim.now if t is None else t)
+
+    def logical_clock(self, t: float | None = None) -> float:
+        """``L_u(t)`` -- read-only, does not mutate lazy state.
+
+        Valid for any ``t`` at or after the last processed event (the usual
+        case: recorders sample the current time between events).
+        """
+        tt = self.sim.now if t is None else t
+        if tt < self._t_last - 1e-12:
+            raise ValueError(
+                f"cannot read logical clock at t={tt!r} before last event "
+                f"t={self._t_last!r}"
+            )
+        return self._L + (self.clock.value(tt) - self._h_last)
+
+    def max_estimate(self, t: float | None = None) -> float:
+        """``Lmax_u(t)`` -- read-only, same contract as :meth:`logical_clock`."""
+        tt = self.sim.now if t is None else t
+        return self._Lmax + (self.clock.value(tt) - self._h_last)
+
+    # ------------------------------------------------------------------ #
+    # Lazy-state synchronisation
+    # ------------------------------------------------------------------ #
+
+    def _sync(self) -> float:
+        """Advance lazy state to ``sim.now``; returns the new ``H`` reading."""
+        h = self.clock.value(self.sim.now)
+        dh = h - self._h_last
+        if dh != 0.0:
+            self._L += dh
+            self._Lmax += dh
+            self._advance_estimates(dh)
+            self._h_last = h
+            self._t_last = self.sim.now
+        return h
+
+    def _advance_estimates(self, dh: float) -> None:
+        """Hook: advance algorithm-specific lazy quantities by ``dh``."""
+
+    # ------------------------------------------------------------------ #
+    # Timers
+    # ------------------------------------------------------------------ #
+
+    def set_subjective_timer(self, key: Any, dt_subjective: float) -> None:
+        """(Re-)arm timer ``key`` to fire after ``dt_subjective`` clock units.
+
+        Matches the pseudocode's ``set timer(dt, id)``: if a timer with this
+        id is pending it is cancelled first.
+        """
+        if dt_subjective < 0.0:
+            raise ValueError(f"subjective delay must be >= 0; got {dt_subjective!r}")
+        self.cancel_timer(key)
+        target_h = self.clock.value(self.sim.now) + dt_subjective
+        fire_t = self.clock.time_at(target_h)
+        handle = self.sim.schedule_at(
+            max(fire_t, self.sim.now),
+            lambda: self._fire_timer(key),
+            priority=PRIORITY_TIMER,
+            label=f"timer:{key}",
+        )
+        self._timers[key] = handle
+
+    def cancel_timer(self, key: Any) -> bool:
+        """Cancel pending timer ``key`` (returns whether one was pending)."""
+        handle = self._timers.pop(key, None)
+        if handle is None:
+            return False
+        return self.sim.cancel(handle)
+
+    def _fire_timer(self, key: Any) -> None:
+        self._timers.pop(key, None)
+        self._sync()
+        self._on_timer(key)
+
+    # ------------------------------------------------------------------ #
+    # Transport entry points
+    # ------------------------------------------------------------------ #
+
+    def on_message(self, sender: int, payload: Any) -> None:
+        """Transport callback: a message arrived."""
+        self._sync()
+        self._handle_message(sender, payload)
+
+    def on_discover_add(self, other: int) -> None:
+        """Transport callback: ``discover(add({u, other}))``."""
+        self._sync()
+        self._handle_discover_add(other)
+
+    def on_discover_remove(self, other: int) -> None:
+        """Transport callback: ``discover(remove({u, other}))``."""
+        self._sync()
+        self._handle_discover_remove(other)
+
+    def send(self, dest: int, payload: Any) -> None:
+        """Send a message through the transport (counts it)."""
+        self.messages_sent += 1
+        self.transport.send(self.node_id, dest, payload)
+
+    # ------------------------------------------------------------------ #
+    # Discrete clock adjustments
+    # ------------------------------------------------------------------ #
+
+    def _jump_logical(self, new_value: float) -> None:
+        """Discretely raise ``L`` to ``new_value`` (never lowers)."""
+        if new_value > self._L:
+            self.total_jump += new_value - self._L
+            self.jumps += 1
+            self.trace.record(self.sim.now, "jump", self.node_id, new_value - self._L)
+            self._L = new_value
+
+    def _raise_max(self, candidate: float) -> None:
+        """Discretely raise ``Lmax`` to ``candidate`` if larger."""
+        if candidate > self._Lmax:
+            self._Lmax = candidate
+
+    # ------------------------------------------------------------------ #
+    # Subclass interface
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> None:
+        """Schedule initial activity (first tick).  Called once at t = 0."""
+        raise NotImplementedError
+
+    def _handle_message(self, sender: int, payload: Any) -> None:
+        raise NotImplementedError
+
+    def _handle_discover_add(self, other: int) -> None:
+        raise NotImplementedError
+
+    def _handle_discover_remove(self, other: int) -> None:
+        raise NotImplementedError
+
+    def _on_timer(self, key: Any) -> None:
+        raise NotImplementedError

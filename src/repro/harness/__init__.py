@@ -1,0 +1,21 @@
+"""Experiment harness: declarative configs and a one-call runner."""
+
+from . import configs
+from .runner import (
+    ALGORITHMS,
+    Experiment,
+    ExperimentConfig,
+    RunResult,
+    build_experiment,
+    run_experiment,
+)
+
+__all__ = [
+    "ALGORITHMS",
+    "Experiment",
+    "ExperimentConfig",
+    "RunResult",
+    "build_experiment",
+    "configs",
+    "run_experiment",
+]

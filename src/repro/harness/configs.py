@@ -1,0 +1,342 @@
+"""Canned experiment configurations.
+
+One function per workload family; each returns an
+:class:`~repro.harness.runner.ExperimentConfig` ready for
+:func:`~repro.harness.runner.run_experiment`.  The benchmark modules and the
+examples build on these so that "the workload of experiment X" has exactly
+one definition in the repository.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..network.churn import (
+    EdgeFlapper,
+    MobileGeometricChurn,
+    RandomRewirer,
+    RotatingBackboneChurn,
+    ScriptedChurn,
+)
+from ..network.topology import (
+    grid_edges,
+    path_edges,
+    random_geometric,
+    ring_edges,
+    two_chain_edges,
+)
+from ..params import SystemParams
+from .runner import ExperimentConfig
+
+__all__ = [
+    "static_path",
+    "static_ring",
+    "static_grid",
+    "backbone_churn",
+    "rotating_backbone",
+    "mobile_network",
+    "edge_insertion",
+    "flapping_edges",
+    "two_chain_insertion",
+]
+
+
+def _params(n: int, b0: float | None, **overrides: float) -> SystemParams:
+    return SystemParams.for_network(n, b0=b0, **overrides)
+
+
+def static_path(
+    n: int,
+    *,
+    horizon: float = 300.0,
+    seed: int = 0,
+    algorithm: str = "dcsa",
+    clock_spec: str = "split",
+    b0: float | None = None,
+) -> ExperimentConfig:
+    """A static path under adversarial split clocks (worst gradient case)."""
+    return ExperimentConfig(
+        params=_params(n, b0),
+        initial_edges=path_edges(n),
+        algorithm=algorithm,
+        clock_spec=clock_spec,
+        horizon=horizon,
+        seed=seed,
+        name=f"static_path(n={n}, {algorithm})",
+    )
+
+
+def static_ring(
+    n: int,
+    *,
+    horizon: float = 300.0,
+    seed: int = 0,
+    algorithm: str = "dcsa",
+    clock_spec: str = "random_walk",
+    b0: float | None = None,
+) -> ExperimentConfig:
+    """A static ring with random-walk clock drift."""
+    return ExperimentConfig(
+        params=_params(n, b0),
+        initial_edges=ring_edges(n),
+        algorithm=algorithm,
+        clock_spec=clock_spec,
+        horizon=horizon,
+        seed=seed,
+        name=f"static_ring(n={n}, {algorithm})",
+    )
+
+
+def static_grid(
+    rows: int,
+    cols: int,
+    *,
+    horizon: float = 300.0,
+    seed: int = 0,
+    algorithm: str = "dcsa",
+    b0: float | None = None,
+) -> ExperimentConfig:
+    """A static grid with random-walk drift."""
+    n = rows * cols
+    return ExperimentConfig(
+        params=_params(n, b0),
+        initial_edges=grid_edges(rows, cols),
+        algorithm=algorithm,
+        horizon=horizon,
+        seed=seed,
+        name=f"static_grid({rows}x{cols}, {algorithm})",
+    )
+
+
+def backbone_churn(
+    n: int,
+    *,
+    k_extra: int = 4,
+    rewire_interval: float = 5.0,
+    horizon: float = 300.0,
+    seed: int = 0,
+    algorithm: str = "dcsa",
+    clock_spec: str = "split",
+    b0: float | None = None,
+) -> ExperimentConfig:
+    """Stable path backbone + arbitrary random rewiring of extra edges."""
+    backbone = path_edges(n)
+
+    def build(params: SystemParams, rng: np.random.Generator) -> RandomRewirer:
+        return RandomRewirer(
+            n, k_extra, rewire_interval, rng, protected=backbone, horizon=horizon
+        )
+
+    return ExperimentConfig(
+        params=_params(n, b0),
+        initial_edges=backbone,
+        algorithm=algorithm,
+        clock_spec=clock_spec,
+        churn=[build],
+        horizon=horizon,
+        seed=seed,
+        name=f"backbone_churn(n={n}, {algorithm})",
+    )
+
+
+def rotating_backbone(
+    n: int,
+    *,
+    window: float = 30.0,
+    overlap: float | None = None,
+    horizon: float = 300.0,
+    seed: int = 0,
+    algorithm: str = "dcsa",
+    b0: float | None = None,
+) -> ExperimentConfig:
+    """No stable edge at all: a different spanning path per time window.
+
+    ``overlap`` defaults to slightly above :math:`\\mathcal{T}+\\mathcal{D}`
+    so the execution is :math:`(\\mathcal{T}+\\mathcal{D})`-interval
+    connected -- exactly the premise of Theorem 6.9 -- while *every* edge
+    eventually disappears.
+    """
+    params = _params(n, b0)
+    ov = overlap
+    if ov is None:
+        ov = 1.2 * (params.max_delay + params.discovery_bound)
+    if ov >= window:
+        raise ValueError("window must exceed the overlap")
+
+    def build(p: SystemParams, rng: np.random.Generator) -> RotatingBackboneChurn:
+        return RotatingBackboneChurn(n, window, ov, rng, horizon=horizon)
+
+    return ExperimentConfig(
+        params=params,
+        initial_edges=[],
+        algorithm=algorithm,
+        churn=[build],
+        horizon=horizon,
+        seed=seed,
+        name=f"rotating_backbone(n={n}, window={window}, {algorithm})",
+    )
+
+
+def mobile_network(
+    n: int,
+    *,
+    radius: float = 0.35,
+    speed: float = 0.01,
+    update_interval: float = 2.0,
+    horizon: float = 300.0,
+    seed: int = 0,
+    algorithm: str = "dcsa",
+    keep_backbone: bool = True,
+    b0: float | None = None,
+) -> ExperimentConfig:
+    """Random-waypoint mobile wireless network (the intro's TDMA scenario).
+
+    A spanning-path backbone is kept alive by default so the connectivity
+    premise of the analysis holds while the radio topology churns freely.
+    """
+    params = _params(n, b0)
+    seed_rng = np.random.default_rng(seed)
+    edges, pos = random_geometric(n, radius, seed_rng)
+    backbone = path_edges(n) if keep_backbone else []
+    initial = sorted(set(edges) | set(backbone))
+
+    def build(p: SystemParams, rng: np.random.Generator) -> MobileGeometricChurn:
+        return MobileGeometricChurn(
+            pos,
+            radius,
+            speed,
+            update_interval,
+            rng,
+            protected=backbone,
+            horizon=horizon,
+        )
+
+    return ExperimentConfig(
+        params=params,
+        initial_edges=initial,
+        algorithm=algorithm,
+        churn=[build],
+        horizon=horizon,
+        seed=seed,
+        name=f"mobile(n={n}, {algorithm})",
+    )
+
+
+def edge_insertion(
+    n: int,
+    *,
+    t_insert: float = 100.0,
+    endpoints: tuple[int, int] | None = None,
+    horizon: float | None = None,
+    seed: int = 0,
+    algorithm: str = "dcsa",
+    b0: float | None = None,
+) -> ExperimentConfig:
+    """The Section 1 motivating scenario: a shortcut edge appears on a path.
+
+    A path network runs with worst-case message delays (always
+    :math:`\\mathcal{T}`) and split extremal clocks so hop skews are
+    non-trivial; at ``t_insert`` an edge between the (far apart) endpoints
+    appears.  Horizon defaults to ``t_insert`` plus 3x the theoretical
+    stabilization time.
+    """
+    from ..core import skew_bounds
+
+    params = _params(n, b0)
+    u, v = endpoints if endpoints is not None else (0, n - 1)
+    if horizon is None:
+        horizon = t_insert + 3.0 * skew_bounds.stabilization_time(params)
+    churn = ScriptedChurn([(t_insert, "add", u, v)])
+    return ExperimentConfig(
+        params=params,
+        initial_edges=path_edges(n),
+        algorithm=algorithm,
+        clock_spec="split",
+        delay_spec="max",
+        churn=[churn],
+        horizon=horizon,
+        seed=seed,
+        name=f"edge_insertion(n={n}, t={t_insert}, {algorithm})",
+    )
+
+
+def flapping_edges(
+    n: int,
+    *,
+    n_flappers: int = 3,
+    up: float = 8.0,
+    down: float = 6.0,
+    horizon: float = 300.0,
+    seed: int = 0,
+    algorithm: str = "dcsa",
+    b0: float | None = None,
+) -> ExperimentConfig:
+    """Path backbone with chordal edges that flap up and down.
+
+    Short up-times exercise re-discovery and the Gamma eviction path (lost
+    timers) heavily.
+    """
+    params = _params(n, b0)
+    rng = np.random.default_rng(seed)
+    flap: list[tuple[int, int]] = []
+    attempts = 0
+    while len(flap) < n_flappers and attempts < 100 * n_flappers:
+        attempts += 1
+        u = int(rng.integers(n))
+        v = int(rng.integers(n))
+        if abs(u - v) <= 1 or u == v:
+            continue
+        e = (min(u, v), max(u, v))
+        if e not in flap:
+            flap.append(e)
+
+    def build(p: SystemParams, churn_rng: np.random.Generator) -> EdgeFlapper:
+        return EdgeFlapper(flap, up, down, churn_rng, horizon=horizon)
+
+    return ExperimentConfig(
+        params=params,
+        initial_edges=path_edges(n),
+        algorithm=algorithm,
+        churn=[build],
+        horizon=horizon,
+        seed=seed,
+        name=f"flapping(n={n}, {algorithm})",
+    )
+
+
+def two_chain_insertion(
+    n: int,
+    *,
+    t_insert: float = 150.0,
+    horizon: float | None = None,
+    seed: int = 0,
+    algorithm: str = "dcsa",
+    b0: float | None = None,
+) -> ExperimentConfig:
+    """Figure 1's two-chain topology with a mid-run B-chain shortcut.
+
+    This is the *harness-level* version (random delays within bounds);
+    the full adversarial construction with delay masks lives in
+    :mod:`repro.lowerbound.scenario`.
+    """
+    from ..core import skew_bounds
+
+    params = _params(n, b0)
+    edges, chains = two_chain_edges(n)
+    b_chain = chains["B"]
+    mid = len(b_chain) // 2
+    shortcut = (min(b_chain[1], b_chain[mid]), max(b_chain[1], b_chain[mid]))
+    if horizon is None:
+        horizon = t_insert + 3.0 * skew_bounds.stabilization_time(params)
+    churn = ScriptedChurn([(t_insert, "add", shortcut[0], shortcut[1])])
+    return ExperimentConfig(
+        params=params,
+        initial_edges=edges,
+        algorithm=algorithm,
+        clock_spec="split",
+        delay_spec="max",
+        churn=[churn],
+        horizon=horizon,
+        seed=seed,
+        name=f"two_chain(n={n}, {algorithm})",
+    )

@@ -1,0 +1,340 @@
+"""One-call experiment runner.
+
+:func:`run_experiment` builds a complete execution from an
+:class:`ExperimentConfig` -- simulator, dynamic graph, transport, hardware
+clocks, algorithm nodes, churn processes, recorder -- runs it to the horizon
+and returns a :class:`RunResult` bundling the recorded data with the stats
+every benchmark needs.
+
+Construction order matters and is fixed here (see inline comments): the
+transport must observe graph mutations only after nodes are registered, and
+initial-edge discovery must not double-fire for edges churn processes seed
+at ``t = 0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..analysis.metrics import max_global_skew, max_local_skew
+from ..analysis.recorder import RunRecord, SkewRecorder
+from ..baselines import FreeRunningNode, MaxSyncNode, StaticGradientNode
+from ..core.dcsa import DCSANode
+from ..core.node import ClockSyncNode
+from ..network.channels import ConstantDelay, DelayPolicy, UniformDelay
+from ..network.churn import ChurnProcess
+from ..network.discovery import ConstantDiscovery, DiscoveryPolicy, UniformDiscovery
+from ..network.graph import DynamicGraph
+from ..network.transport import Transport
+from ..params import SystemParams
+from ..sim.clocks import (
+    HardwareClock,
+    extremal_clock,
+    perfect_clock,
+    random_walk_clock,
+    validate_drift,
+)
+from ..sim.rng import RngFactory
+from ..sim.simulator import Simulator
+from ..sim.tracing import TraceRecorder
+
+__all__ = [
+    "ALGORITHMS",
+    "ExperimentConfig",
+    "RunResult",
+    "build_experiment",
+    "run_experiment",
+]
+
+Edge = tuple[int, int]
+
+#: Algorithm registry: name -> node class.
+ALGORITHMS: dict[str, type[ClockSyncNode]] = {
+    "dcsa": DCSANode,
+    "max": MaxSyncNode,
+    "static": StaticGradientNode,
+    "free": FreeRunningNode,
+}
+
+ClockSpec = str | Callable[[int, SystemParams, np.random.Generator, float], HardwareClock]
+DelaySpec = str | Callable[[SystemParams, np.random.Generator], DelayPolicy]
+DiscoverySpec = str | Callable[[SystemParams, np.random.Generator], DiscoveryPolicy]
+ChurnBuilder = Callable[[SystemParams, np.random.Generator], ChurnProcess]
+
+
+@dataclass
+class ExperimentConfig:
+    """Declarative description of one experiment run.
+
+    Attributes
+    ----------
+    params:
+        Model parameters (defines ``n``).
+    initial_edges:
+        ``E_0``; must reference node ids below ``params.n``.
+    algorithm:
+        Key into :data:`ALGORITHMS` (``"dcsa"``, ``"max"``, ``"static"``,
+        ``"free"``).
+    clock_spec:
+        Hardware clock assignment.  Strings: ``"perfect"``,
+        ``"random_walk"`` (bounded AR(1) drift), ``"split"`` (first half
+        ``1+rho``, second half ``1-rho``), ``"alternating"`` (odd/even),
+        ``"uniform"`` (constant rate drawn uniformly from the envelope per
+        node); or a callable ``(node_id, params, rng, horizon) -> clock``.
+    delay_spec:
+        ``"uniform"`` ([0, T] i.i.d.), ``"max"`` (always T), ``"zero"``,
+        ``"half"`` (T/2); or a callable ``(params, rng) -> DelayPolicy``.
+    discovery_spec:
+        ``"uniform"`` ([0, D] i.i.d.), ``"max"`` (always D), ``"zero"``;
+        or a callable ``(params, rng) -> DiscoveryPolicy``.
+    churn:
+        Concrete :class:`ChurnProcess` instances and/or builders
+        ``(params, rng) -> ChurnProcess``.
+    horizon:
+        Run length (real time).
+    sample_interval:
+        Recorder period.
+    seed:
+        Root seed for all random streams.
+    track_edges / track_max_estimates:
+        Recorder options (see :class:`~repro.analysis.recorder.SkewRecorder`).
+    stagger_ticks:
+        Randomise each node's first tick within one tick interval.
+    trace:
+        Collect a structured event trace (slower; for tests/debugging).
+    name:
+        Label carried into reports.
+    """
+
+    params: SystemParams
+    initial_edges: Sequence[Edge]
+    algorithm: str = "dcsa"
+    clock_spec: ClockSpec = "random_walk"
+    delay_spec: DelaySpec = "uniform"
+    discovery_spec: DiscoverySpec = "uniform"
+    churn: Sequence[ChurnProcess | ChurnBuilder] = field(default_factory=list)
+    horizon: float = 200.0
+    sample_interval: float = 1.0
+    seed: int = 0
+    track_edges: bool = True
+    track_max_estimates: bool = False
+    stagger_ticks: bool = True
+    trace: bool = False
+    name: str = ""
+
+
+@dataclass
+class RunResult:
+    """Everything a finished run produced."""
+
+    config: ExperimentConfig
+    record: RunRecord
+    graph: DynamicGraph
+    nodes: dict[int, ClockSyncNode]
+    transport_stats: dict[str, int]
+    events_dispatched: int
+    trace: TraceRecorder | None = None
+
+    @property
+    def params(self) -> SystemParams:
+        """The run's model parameters."""
+        return self.config.params
+
+    @property
+    def max_global_skew(self) -> float:
+        """Peak global skew over the run."""
+        return max_global_skew(self.record)
+
+    @property
+    def max_local_skew(self) -> float:
+        """Peak skew across any live edge (requires ``track_edges``)."""
+        return max_local_skew(self.record)
+
+    def total_jumps(self) -> int:
+        """Total discrete clock jumps across all nodes."""
+        return sum(node.jumps for node in self.nodes.values())
+
+    def summary(self) -> str:
+        """One-paragraph human-readable run summary."""
+        p = self.params
+        lines = [
+            f"run '{self.config.name or self.config.algorithm}': "
+            f"n={p.n} algo={self.config.algorithm} horizon={self.config.horizon}",
+            f"  global skew: {self.max_global_skew:.3f}  (G(n) = {p.global_skew_bound:.3f})",
+        ]
+        if self.config.track_edges:
+            lines.append(f"  max edge skew: {self.max_local_skew:.3f}")
+        lines.append(
+            f"  events: {self.events_dispatched}  messages: "
+            f"{self.transport_stats['sent']} sent / "
+            f"{self.transport_stats['delivered']} delivered  "
+            f"jumps: {self.total_jumps()}"
+        )
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------- #
+# Spec resolution
+# ---------------------------------------------------------------------- #
+
+
+def _make_clock(
+    spec: ClockSpec,
+    node_id: int,
+    params: SystemParams,
+    rng: np.random.Generator,
+    horizon: float,
+) -> HardwareClock:
+    if callable(spec):
+        return spec(node_id, params, rng, horizon)
+    rho = params.rho
+    if spec == "perfect":
+        return perfect_clock()
+    if spec == "random_walk":
+        segment = max(horizon / 20.0, 4.0 * params.tick_interval)
+        return random_walk_clock(rho, horizon=horizon, segment=segment, rng=rng)
+    if spec == "split":
+        return extremal_clock(rho, fast=node_id < params.n // 2)
+    if spec == "alternating":
+        return extremal_clock(rho, fast=node_id % 2 == 0)
+    if spec == "uniform":
+        from ..sim.clocks import ConstantRateClock
+
+        return ConstantRateClock(1.0 + rho * float(rng.uniform(-1.0, 1.0)))
+    raise ValueError(f"unknown clock spec {spec!r}")
+
+
+def _make_delay(
+    spec: DelaySpec, params: SystemParams, rng: np.random.Generator
+) -> DelayPolicy:
+    if callable(spec):
+        return spec(params, rng)
+    if spec == "uniform":
+        return UniformDelay(0.0, params.max_delay, rng)
+    if spec == "max":
+        return ConstantDelay(params.max_delay)
+    if spec == "half":
+        return ConstantDelay(0.5 * params.max_delay)
+    if spec == "zero":
+        return ConstantDelay(0.0)
+    raise ValueError(f"unknown delay spec {spec!r}")
+
+
+def _make_discovery(
+    spec: DiscoverySpec, params: SystemParams, rng: np.random.Generator
+) -> DiscoveryPolicy:
+    if callable(spec):
+        return spec(params, rng)
+    if spec == "uniform":
+        return UniformDiscovery(0.0, params.discovery_bound, rng)
+    if spec == "max":
+        return ConstantDiscovery(params.discovery_bound)
+    if spec == "zero":
+        return ConstantDiscovery(0.0)
+    raise ValueError(f"unknown discovery spec {spec!r}")
+
+
+# ---------------------------------------------------------------------- #
+# Building and running
+# ---------------------------------------------------------------------- #
+
+
+class Experiment:
+    """A fully wired, not-yet-run execution (exposed for tests)."""
+
+    def __init__(self, cfg: ExperimentConfig) -> None:
+        cfg.params.validate()
+        if cfg.algorithm not in ALGORITHMS:
+            raise ValueError(
+                f"unknown algorithm {cfg.algorithm!r}; "
+                f"choose from {sorted(ALGORITHMS)}"
+            )
+        self.cfg = cfg
+        params = cfg.params
+        rngf = RngFactory(cfg.seed)
+        self.trace = TraceRecorder() if cfg.trace else None
+        self.sim = Simulator(trace=self.trace)
+        # 1. Graph with E_0 (no listeners yet, so no discovery is emitted).
+        self.graph = DynamicGraph(range(params.n), cfg.initial_edges)
+        # 2. Transport subscribes to graph events.
+        self.transport = Transport(
+            self.sim,
+            self.graph,
+            delay_policy=_make_delay(cfg.delay_spec, params, rngf.spawn("delay")),
+            discovery_policy=_make_discovery(
+                cfg.discovery_spec, params, rngf.spawn("discovery")
+            ),
+            max_delay=params.max_delay,
+            discovery_bound=params.discovery_bound,
+            trace=self.trace,
+        )
+        # 3. Nodes (registered before any churn can mutate the graph).
+        clock_rng = rngf.spawn("clocks")
+        stagger_rng = rngf.spawn("stagger")
+        node_cls = ALGORITHMS[cfg.algorithm]
+        self.nodes: dict[int, ClockSyncNode] = {}
+        for i in range(params.n):
+            clock = _make_clock(cfg.clock_spec, i, params, clock_rng, cfg.horizon)
+            validate_drift(clock, params.rho)
+            kwargs = {}
+            if node_cls is not FreeRunningNode:
+                stagger = (
+                    float(stagger_rng.uniform(0.0, params.tick_interval))
+                    if cfg.stagger_ticks
+                    else 0.0
+                )
+                kwargs["tick_stagger"] = stagger
+            node = node_cls(
+                i, self.sim, clock, self.transport, params, trace=self.trace, **kwargs
+            )
+            self.transport.register_node(i, node)
+            self.nodes[i] = node
+        # 4. Recorder (subscribes to graph for edge episodes).
+        self.recorder = SkewRecorder(
+            self.sim,
+            self.graph,
+            self.nodes,
+            cfg.sample_interval,
+            track_edges=cfg.track_edges,
+            track_max_estimates=cfg.track_max_estimates,
+            end=cfg.horizon,
+        )
+        self.recorder.install()
+        # 5. Announce E_0 *before* churn seeds extra t=0 edges (those get
+        #    their discover events from the graph-event path instead).
+        self.transport.announce_initial_edges()
+        churn_rng = rngf.spawn("churn")
+        for proc in cfg.churn:
+            if isinstance(proc, ChurnProcess):
+                proc.install(self.sim, self.graph)
+            else:
+                proc(params, churn_rng).install(self.sim, self.graph)
+        # 6. Start node activity.
+        for i in sorted(self.nodes):
+            self.nodes[i].start()
+
+    def run(self) -> RunResult:
+        """Run to the horizon and package the results."""
+        self.sim.run_until(self.cfg.horizon)
+        return RunResult(
+            config=self.cfg,
+            record=self.recorder.result(),
+            graph=self.graph,
+            nodes=self.nodes,
+            transport_stats=self.transport.stats.as_dict(),
+            events_dispatched=self.sim.events_dispatched,
+            trace=self.trace,
+        )
+
+
+def build_experiment(cfg: ExperimentConfig) -> Experiment:
+    """Wire an experiment without running it (for step-wise tests)."""
+    return Experiment(cfg)
+
+
+def run_experiment(cfg: ExperimentConfig) -> RunResult:
+    """Build and run an experiment; the main library entry point."""
+    return Experiment(cfg).run()

@@ -1,0 +1,51 @@
+"""Topology-discovery latency policies.
+
+Section 3.2: when an edge appears or disappears at time ``t`` and the change
+persists to ``t + D``, each endpoint receives a ``discover`` event no later
+than ``t + D``.  Transient changes (reversed within ``D``) may or may not be
+discovered.  A :class:`DiscoveryPolicy` chooses the per-endpoint latency; the
+transport verifies at fire time that the change still holds, which yields
+exactly the model's "may or may not" semantics for transients.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["DiscoveryPolicy", "ConstantDiscovery", "UniformDiscovery"]
+
+
+class DiscoveryPolicy:
+    """Chooses discovery latencies in ``[0, discovery_bound]``."""
+
+    def latency(self, node: int, other: int, added: bool, t: float) -> float:
+        """Latency until ``node`` discovers the change on edge ``{node, other}``."""
+        raise NotImplementedError
+
+
+class ConstantDiscovery(DiscoveryPolicy):
+    """Every change is discovered after exactly ``value`` time units."""
+
+    def __init__(self, value: float) -> None:
+        if value < 0.0:
+            raise ValueError(f"latency must be non-negative; got {value!r}")
+        self.value = float(value)
+
+    def latency(self, node: int, other: int, added: bool, t: float) -> float:
+        return self.value
+
+
+class UniformDiscovery(DiscoveryPolicy):
+    """I.i.d. uniform latencies in ``[lo, hi]`` (``hi <= discovery_bound``)."""
+
+    def __init__(self, lo: float, hi: float, rng: np.random.Generator) -> None:
+        if not (0.0 <= lo <= hi):
+            raise ValueError(f"need 0 <= lo <= hi; got [{lo!r}, {hi!r}]")
+        self.lo = float(lo)
+        self.hi = float(hi)
+        self._rng = rng
+
+    def latency(self, node: int, other: int, added: bool, t: float) -> float:
+        if self.lo == self.hi:
+            return self.lo
+        return float(self._rng.uniform(self.lo, self.hi))

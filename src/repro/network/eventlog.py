@@ -1,0 +1,88 @@
+"""Recording and replaying network event schedules.
+
+:class:`GraphEventLog` subscribes to a :class:`DynamicGraph` and records all
+mutations; a log can be serialised to CSV and turned back into a
+:class:`~repro.network.churn.ScriptedChurn` so an adversarial or randomly
+generated topology schedule can be replayed exactly (e.g. to compare two
+algorithms under the *same* dynamic network, which is how the baseline
+comparison benchmarks keep workloads identical).
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable
+
+from .churn import ScriptedChurn
+from .graph import DynamicGraph
+
+__all__ = ["GraphEventLog"]
+
+
+class GraphEventLog:
+    """An append-only log of graph mutations ``(time, op, u, v)``."""
+
+    def __init__(self) -> None:
+        self.events: list[tuple[float, str, int, int]] = []
+
+    # ------------------------------------------------------------------ #
+    # Capture
+    # ------------------------------------------------------------------ #
+
+    def attach(self, graph: DynamicGraph) -> None:
+        """Start recording mutations of ``graph``."""
+        graph.subscribe(self._listener)
+
+    def _listener(self, time: float, u: int, v: int, added: bool) -> None:
+        self.events.append((time, "add" if added else "remove", u, v))
+
+    def record(self, time: float, op: str, u: int, v: int) -> None:
+        """Manually append an event (for hand-built schedules)."""
+        if op not in ("add", "remove"):
+            raise ValueError(f"bad op {op!r}")
+        self.events.append((time, op, u, v))
+
+    # ------------------------------------------------------------------ #
+    # Replay / serialisation
+    # ------------------------------------------------------------------ #
+
+    def as_churn(self, *, skip_initial: bool = True) -> ScriptedChurn:
+        """Convert to a replayable churn process.
+
+        With ``skip_initial`` events at ``t = 0`` are dropped -- they belong
+        in the initial edge set of the replayed graph, not in the schedule
+        (replaying an add of an already-present initial edge would raise).
+        """
+        events = [e for e in self.events if not (skip_initial and e[0] == 0.0)]
+        return ScriptedChurn(events)
+
+    def initial_edges(self) -> list[tuple[int, int]]:
+        """Edges added at ``t = 0`` (the replayed graph's ``E_0``)."""
+        return [(u, v) for t, op, u, v in self.events if t == 0.0 and op == "add"]
+
+    def to_csv(self) -> str:
+        """Serialise as ``time,op,u,v`` lines."""
+        buf = io.StringIO()
+        for t, op, u, v in self.events:
+            buf.write(f"{t!r},{op},{u},{v}\n")
+        return buf.getvalue()
+
+    @classmethod
+    def from_csv(cls, text: str) -> "GraphEventLog":
+        """Parse the output of :meth:`to_csv`."""
+        log = cls()
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            t_s, op, u_s, v_s = line.split(",")
+            log.events.append((float(t_s), op, int(u_s), int(v_s)))
+        return log
+
+    @staticmethod
+    def from_events(events: Iterable[tuple[float, str, int, int]]) -> "GraphEventLog":
+        """Build a log from an explicit event list."""
+        log = GraphEventLog()
+        for t, op, u, v in events:
+            log.record(t, op, u, v)
+        return log

@@ -1,0 +1,252 @@
+"""Message transport and discovery wiring.
+
+:class:`Transport` implements the delivery contract of Section 3.2 on top of
+a :class:`~repro.network.graph.DynamicGraph`, a
+:class:`~repro.network.channels.DelayPolicy` and a
+:class:`~repro.network.discovery.DiscoveryPolicy`:
+
+* **Reliable FIFO delivery within** :math:`\\mathcal{T}`: if the edge exists
+  throughout ``[t, t + delay]`` the message is delivered at ``t + delay``
+  (clamped so it cannot overtake an earlier message on the same directed
+  link -- the clamp can never exceed the :math:`\\mathcal{T}` bound because
+  the predecessor met its own bound).
+* **Drop on removal**: a message in flight over an edge that gets removed is
+  dropped, and the sender additionally discovers the failure no later than
+  ``send_time + discovery_bound`` (the model's MAC-layer-ack abstraction).
+* **Send on a non-existent edge**: dropped; the sender discovers the edge is
+  gone no later than ``send_time + discovery_bound``.
+* **Discovery of persistent changes**: every add/remove that persists is
+  discovered by both endpoints within ``discovery_bound``; transient changes
+  are verified at fire time and silently skipped if already reversed, which
+  realises the model's "may or may not be detected".
+
+Nodes registered with the transport must provide three callbacks::
+
+    on_message(sender: int, payload) -> None
+    on_discover_add(other: int) -> None
+    on_discover_remove(other: int) -> None
+
+(:class:`repro.core.node.ClockSyncNode` provides this interface.)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol
+
+from ..sim.events import PRIORITY_DELIVERY
+from ..sim.simulator import Simulator
+from ..sim.tracing import NULL_TRACE, TraceRecorder
+from .channels import DelayPolicy
+from .discovery import DiscoveryPolicy
+from .graph import DynamicGraph
+
+__all__ = ["Transport", "NodeInterface", "TransportStats"]
+
+
+class NodeInterface(Protocol):
+    """Callbacks a node must implement to ride the transport."""
+
+    def on_message(self, sender: int, payload: Any) -> None: ...
+
+    def on_discover_add(self, other: int) -> None: ...
+
+    def on_discover_remove(self, other: int) -> None: ...
+
+
+class TransportStats:
+    """Mutable delivery counters (exposed for tests and reports)."""
+
+    __slots__ = (
+        "sent",
+        "delivered",
+        "dropped_no_edge",
+        "dropped_removed",
+        "discoveries_delivered",
+        "discoveries_skipped",
+    )
+
+    def __init__(self) -> None:
+        self.sent = 0
+        self.delivered = 0
+        self.dropped_no_edge = 0
+        self.dropped_removed = 0
+        self.discoveries_delivered = 0
+        self.discoveries_skipped = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Counters as a plain dict."""
+        return {k: getattr(self, k) for k in self.__slots__}
+
+
+class Transport:
+    """Wires nodes, graph, channel delays and discovery into one fabric.
+
+    Parameters
+    ----------
+    sim:
+        The simulation kernel.
+    graph:
+        The dynamic graph; the transport subscribes to its mutations.
+    delay_policy / discovery_policy:
+        Behavioural policies (see module docstring).
+    max_delay:
+        :math:`\\mathcal{T}`; every policy delay is validated against it.
+    discovery_bound:
+        :math:`\\mathcal{D}`; discovery latencies are validated against it.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        graph: DynamicGraph,
+        *,
+        delay_policy: DelayPolicy,
+        discovery_policy: DiscoveryPolicy,
+        max_delay: float,
+        discovery_bound: float,
+        trace: TraceRecorder | None = None,
+    ) -> None:
+        self.sim = sim
+        self.graph = graph
+        self.delay_policy = delay_policy
+        self.discovery_policy = discovery_policy
+        self.max_delay = float(max_delay)
+        self.discovery_bound = float(discovery_bound)
+        self.trace = trace if trace is not None else NULL_TRACE
+        self.stats = TransportStats()
+        self._nodes: dict[int, NodeInterface] = {}
+        self._fifo_last: dict[tuple[int, int], float] = {}
+        self._pending_absence: set[tuple[int, int]] = set()
+        graph.subscribe(self._on_graph_event)
+
+    # ------------------------------------------------------------------ #
+    # Node management
+    # ------------------------------------------------------------------ #
+
+    def register_node(self, node_id: int, node: NodeInterface) -> None:
+        """Attach a node implementation to a graph node id."""
+        if not self.graph.has_node(node_id):
+            raise ValueError(f"unknown node id {node_id!r}")
+        if node_id in self._nodes:
+            raise ValueError(f"node {node_id!r} already registered")
+        self._nodes[node_id] = node
+
+    def node(self, node_id: int) -> NodeInterface:
+        """The node implementation registered for ``node_id``."""
+        return self._nodes[node_id]
+
+    def announce_initial_edges(self) -> None:
+        """Deliver ``discover(add)`` for every edge of ``E_0`` at ``t = 0``.
+
+        Initial edges are known to their endpoints from the start; this is
+        scheduled (rather than called directly) so nodes see the discovery
+        through the ordinary event pipeline before their first tick.
+        """
+        for u, v in self.graph.edges():
+            self._schedule_discovery(u, v, added=True, change_time=self.sim.now)
+            self._schedule_discovery(v, u, added=True, change_time=self.sim.now)
+
+    # ------------------------------------------------------------------ #
+    # Sending
+    # ------------------------------------------------------------------ #
+
+    def send(self, u: int, v: int, payload: Any) -> None:
+        """Send ``payload`` from ``u`` to ``v`` under the Section 3.2 contract."""
+        now = self.sim.now
+        self.stats.sent += 1
+        if not self.graph.has_edge(u, v):
+            self.stats.dropped_no_edge += 1
+            self.trace.record(now, "send_fail", u, v)
+            self._schedule_absence_discovery(u, v, send_time=now)
+            return
+        delay = self.delay_policy.delay(u, v, now)
+        if delay < 0.0 or delay > self.max_delay + 1e-9:
+            raise ValueError(
+                f"delay policy produced {delay!r} outside [0, {self.max_delay}]"
+            )
+        t_deliver = now + delay
+        link = (u, v)
+        prev = self._fifo_last.get(link, 0.0)
+        if t_deliver < prev:
+            t_deliver = prev  # FIFO clamp; see module docstring
+        self._fifo_last[link] = t_deliver
+        self.trace.record(now, "send", u, v, t_deliver)
+        self.sim.schedule_at(
+            t_deliver,
+            lambda: self._deliver(u, v, payload, now),
+            priority=PRIORITY_DELIVERY,
+            label="deliver",
+        )
+
+    def _deliver(self, u: int, v: int, payload: Any, send_time: float) -> None:
+        now = self.sim.now
+        if self.graph.removed_during(u, v, send_time, now) or not self.graph.has_edge(u, v):
+            # The edge failed while the message was in flight: drop, and make
+            # sure the sender learns within discovery_bound of the send.
+            self.stats.dropped_removed += 1
+            self.trace.record(now, "drop_removed", u, v)
+            self._schedule_absence_discovery(u, v, send_time=send_time)
+            return
+        self.stats.delivered += 1
+        self.trace.record(now, "recv", v, u)
+        self._nodes[v].on_message(u, payload)
+
+    # ------------------------------------------------------------------ #
+    # Discovery
+    # ------------------------------------------------------------------ #
+
+    def _on_graph_event(self, time: float, u: int, v: int, added: bool) -> None:
+        self.trace.record(time, "edge_add" if added else "edge_remove", u, v)
+        self._schedule_discovery(u, v, added=added, change_time=time)
+        self._schedule_discovery(v, u, added=added, change_time=time)
+
+    def _schedule_discovery(
+        self, node_id: int, other: int, *, added: bool, change_time: float
+    ) -> None:
+        if node_id not in self._nodes:
+            return  # Nodes may be registered lazily in tests.
+        lat = self.discovery_policy.latency(node_id, other, added, change_time)
+        if lat < 0.0 or lat > self.discovery_bound + 1e-9:
+            raise ValueError(
+                f"discovery latency {lat!r} outside [0, {self.discovery_bound}]"
+            )
+        fire_at = max(change_time + lat, self.sim.now)
+
+        def fire() -> None:
+            # Verify the change still holds; a reversed (transient) change
+            # is allowed to go unnoticed.
+            if self.graph.has_edge(node_id, other) == added:
+                self.stats.discoveries_delivered += 1
+                kind = "discover_add" if added else "discover_remove"
+                self.trace.record(self.sim.now, kind, node_id, other)
+                if added:
+                    self._nodes[node_id].on_discover_add(other)
+                else:
+                    self._nodes[node_id].on_discover_remove(other)
+            else:
+                self.stats.discoveries_skipped += 1
+
+        self.sim.schedule_at(fire_at, fire, priority=PRIORITY_DELIVERY, label="discover")
+
+    def _schedule_absence_discovery(self, u: int, v: int, *, send_time: float) -> None:
+        """Ensure ``u`` learns edge ``{u, v}`` is gone by ``send_time + D``."""
+        if u not in self._nodes:
+            return
+        key = (u, v)
+        if key in self._pending_absence:
+            return
+        self._pending_absence.add(key)
+        lat = self.discovery_policy.latency(u, v, False, send_time)
+        fire_at = min(send_time + lat, send_time + self.discovery_bound)
+        fire_at = max(fire_at, self.sim.now)
+
+        def fire() -> None:
+            self._pending_absence.discard(key)
+            if not self.graph.has_edge(u, v):
+                self.stats.discoveries_delivered += 1
+                self.trace.record(self.sim.now, "discover_remove", u, v)
+                self._nodes[u].on_discover_remove(v)
+            else:
+                self.stats.discoveries_skipped += 1
+
+        self.sim.schedule_at(fire_at, fire, priority=PRIORITY_DELIVERY, label="discover")

@@ -1,0 +1,278 @@
+"""Hardware clock models with bounded drift.
+
+The paper's model (Section 3.3): every node has a continuous hardware clock
+``H_u`` with ``H_u(0) = 0`` whose rate always lies in ``[1 - rho, 1 + rho]``.
+Logical clocks, neighbour estimates and subjective timers are all driven off
+the hardware clock, so clocks must support two exact queries:
+
+* :meth:`HardwareClock.value` -- ``H(t)`` for real time ``t``;
+* :meth:`HardwareClock.time_at` -- the inverse, the real time at which the
+  clock reaches a given value (used to arm subjective timers).
+
+All concrete models are piecewise linear (piecewise-constant rate), which is
+fully general for our purposes: the adversarial schedules used by the
+lower-bound constructions *are* piecewise linear (e.g. the beta execution of
+Lemma 4.2 runs a node at rate ``1 + rho`` until its layer's skew target is
+reached and at rate ``1`` afterwards), and smooth drift processes are
+approximated to arbitrary precision by refining segments.
+
+Schedule builders at the bottom of the module generate common rate profiles:
+constant, two-phase (lower bound), bounded random walk, and sinusoidal
+(sampled).
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "HardwareClock",
+    "ConstantRateClock",
+    "PiecewiseRateClock",
+    "perfect_clock",
+    "two_phase_clock",
+    "random_walk_clock",
+    "sinusoidal_clock",
+    "extremal_clock",
+    "validate_drift",
+]
+
+
+class HardwareClock:
+    """Interface for hardware clocks (``H(0) = 0``, strictly increasing)."""
+
+    __slots__ = ()
+
+    def value(self, t: float) -> float:
+        """Return ``H(t)`` for real time ``t >= 0``."""
+        raise NotImplementedError
+
+    def time_at(self, h: float) -> float:
+        """Return the real time ``t`` with ``H(t) = h`` (``h >= 0``)."""
+        raise NotImplementedError
+
+    def rate_at(self, t: float) -> float:
+        """Return the instantaneous rate at real time ``t`` (right limit)."""
+        raise NotImplementedError
+
+    def rate_bounds(self) -> tuple[float, float]:
+        """Return ``(min rate, max rate)`` over the whole schedule."""
+        raise NotImplementedError
+
+
+class ConstantRateClock(HardwareClock):
+    """A clock running at a fixed rate (rate 1.0 = perfect real time)."""
+
+    __slots__ = ("rate",)
+
+    def __init__(self, rate: float = 1.0) -> None:
+        if rate <= 0.0:
+            raise ValueError(f"clock rate must be positive; got {rate!r}")
+        self.rate = float(rate)
+
+    def value(self, t: float) -> float:
+        return self.rate * t
+
+    def time_at(self, h: float) -> float:
+        return h / self.rate
+
+    def rate_at(self, t: float) -> float:
+        return self.rate
+
+    def rate_bounds(self) -> tuple[float, float]:
+        return (self.rate, self.rate)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ConstantRateClock(rate={self.rate!r})"
+
+
+class PiecewiseRateClock(HardwareClock):
+    """A clock with piecewise-constant rate.
+
+    Parameters
+    ----------
+    times:
+        Strictly increasing segment start times; ``times[0]`` must be ``0``.
+        The last segment extends to infinity.
+    rates:
+        Positive rate for each segment (``len(rates) == len(times)``).
+
+    Both :meth:`value` and :meth:`time_at` are exact (no integration error):
+    cumulative clock values at segment boundaries are precomputed and the
+    query segment is located by binary search, O(log k) per query.
+    """
+
+    __slots__ = ("_times", "_rates", "_values")
+
+    def __init__(self, times: Sequence[float], rates: Sequence[float]) -> None:
+        if len(times) != len(rates):
+            raise ValueError("times and rates must have equal length")
+        if len(times) == 0:
+            raise ValueError("need at least one segment")
+        if times[0] != 0.0:
+            raise ValueError(f"first segment must start at 0; got {times[0]!r}")
+        for i in range(1, len(times)):
+            if times[i] <= times[i - 1]:
+                raise ValueError("segment times must be strictly increasing")
+        for r in rates:
+            if r <= 0.0:
+                raise ValueError(f"clock rates must be positive; got {r!r}")
+        self._times = [float(t) for t in times]
+        self._rates = [float(r) for r in rates]
+        values = [0.0]
+        for i in range(1, len(times)):
+            dt = self._times[i] - self._times[i - 1]
+            values.append(values[-1] + self._rates[i - 1] * dt)
+        self._values = values
+
+    @property
+    def segment_times(self) -> list[float]:
+        """Segment start times (copy)."""
+        return list(self._times)
+
+    @property
+    def segment_rates(self) -> list[float]:
+        """Segment rates (copy)."""
+        return list(self._rates)
+
+    def value(self, t: float) -> float:
+        if t < 0.0:
+            raise ValueError(f"time must be non-negative; got {t!r}")
+        i = bisect_right(self._times, t) - 1
+        return self._values[i] + self._rates[i] * (t - self._times[i])
+
+    def time_at(self, h: float) -> float:
+        if h < 0.0:
+            raise ValueError(f"clock value must be non-negative; got {h!r}")
+        i = bisect_right(self._values, h) - 1
+        if i >= len(self._times):  # pragma: no cover - defensive
+            i = len(self._times) - 1
+        return self._times[i] + (h - self._values[i]) / self._rates[i]
+
+    def rate_at(self, t: float) -> float:
+        if t < 0.0:
+            raise ValueError(f"time must be non-negative; got {t!r}")
+        i = bisect_right(self._times, t) - 1
+        return self._rates[i]
+
+    def rate_bounds(self) -> tuple[float, float]:
+        return (min(self._rates), max(self._rates))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"PiecewiseRateClock(segments={len(self._times)}, "
+            f"rates in [{min(self._rates):.4g}, {max(self._rates):.4g}])"
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Schedule builders
+# ---------------------------------------------------------------------- #
+
+
+def perfect_clock() -> ConstantRateClock:
+    """A drift-free clock (rate exactly 1)."""
+    return ConstantRateClock(1.0)
+
+
+def extremal_clock(rho: float, fast: bool) -> ConstantRateClock:
+    """A clock pinned at the drift envelope: rate ``1 + rho`` or ``1 - rho``.
+
+    These extremes are what adversarial lower-bound arguments use and what
+    maximises skew growth in bound-verification experiments.
+    """
+    return ConstantRateClock(1.0 + rho if fast else 1.0 - rho)
+
+
+def two_phase_clock(rho: float, switch_time: float) -> PiecewiseRateClock:
+    """Rate ``1 + rho`` until ``switch_time``, rate ``1`` afterwards.
+
+    This realises the closed form of the beta execution of Lemma 4.2:
+    ``H(t) = t + min(rho * t, rho * switch_time)``.  A node at flexible
+    distance ``d`` from the reference uses
+    ``switch_time = max_delay * d / rho`` so that
+    ``H(t) = t + min(rho t, max_delay * d)`` exactly as in Eq. (1).
+    """
+    if switch_time <= 0.0:
+        return PiecewiseRateClock([0.0], [1.0])
+    return PiecewiseRateClock([0.0, switch_time], [1.0 + rho, 1.0])
+
+
+def random_walk_clock(
+    rho: float,
+    horizon: float,
+    segment: float,
+    rng: np.random.Generator,
+    *,
+    persistence: float = 0.7,
+) -> PiecewiseRateClock:
+    """A bounded random-walk rate schedule in ``[1 - rho, 1 + rho]``.
+
+    The rate performs an AR(1)-style walk over segments of length
+    ``segment`` until ``horizon``; afterwards the last rate persists.  This
+    models oscillator drift that wanders but respects the drift bound --
+    realistic for crystal oscillators whose frequency moves with temperature.
+
+    Parameters
+    ----------
+    persistence:
+        AR(1) coefficient in [0, 1); higher values change rate more slowly.
+    """
+    if not (0.0 <= persistence < 1.0):
+        raise ValueError(f"persistence must be in [0, 1); got {persistence!r}")
+    if segment <= 0.0 or horizon <= 0.0:
+        raise ValueError("segment and horizon must be positive")
+    k = max(1, int(math.ceil(horizon / segment)))
+    times = [i * segment for i in range(k)]
+    rates = []
+    x = rng.uniform(-1.0, 1.0)
+    for _ in range(k):
+        x = persistence * x + (1.0 - persistence) * rng.uniform(-1.0, 1.0)
+        x = min(1.0, max(-1.0, x))
+        rates.append(1.0 + rho * x)
+    return PiecewiseRateClock(times, rates)
+
+
+def sinusoidal_clock(
+    rho: float,
+    period: float,
+    horizon: float,
+    *,
+    phase: float = 0.0,
+    samples_per_period: int = 32,
+) -> PiecewiseRateClock:
+    """A sampled sinusoidal rate profile ``1 + rho * sin(2 pi t/period + phase)``.
+
+    The sinusoid is sampled into piecewise-constant segments so that clock
+    inversion stays exact.  Useful for modelling periodic (e.g. thermal)
+    drift; the peak-to-peak drift equals the full envelope ``2 rho``.
+    """
+    if period <= 0.0 or horizon <= 0.0:
+        raise ValueError("period and horizon must be positive")
+    if samples_per_period < 4:
+        raise ValueError("need at least 4 samples per period")
+    seg = period / samples_per_period
+    k = max(1, int(math.ceil(horizon / seg)))
+    times = [i * seg for i in range(k)]
+    # Sample at segment midpoints to reduce discretisation bias.
+    rates = [
+        1.0 + rho * math.sin(2.0 * math.pi * (t + 0.5 * seg) / period + phase)
+        for t in times
+    ]
+    # Guard against a rate of exactly 0 for rho ~ 1 (not admissible anyway).
+    rates = [max(r, 1e-9) for r in rates]
+    return PiecewiseRateClock(times, rates)
+
+
+def validate_drift(clock: HardwareClock, rho: float, *, tol: float = 1e-12) -> None:
+    """Raise ``ValueError`` if the clock's rates leave ``[1-rho, 1+rho]``."""
+    lo, hi = clock.rate_bounds()
+    if lo < 1.0 - rho - tol or hi > 1.0 + rho + tol:
+        raise ValueError(
+            f"clock rates [{lo:.6g}, {hi:.6g}] violate the drift bound "
+            f"[1-rho, 1+rho] = [{1 - rho:.6g}, {1 + rho:.6g}]"
+        )

@@ -1,0 +1,88 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+The kernel dispatches :class:`ScheduledEvent` records in non-decreasing time
+order.  Ties are broken first by an integer ``priority`` (lower fires first)
+and then by insertion order (``seq``), which makes executions fully
+deterministic for a given seed -- a property the test suite relies on.
+
+Priorities group event classes so that, at equal timestamps, the environment
+observes a consistent order:
+
+* ``PRIORITY_TOPOLOGY`` -- graph add/remove events (the world changes first);
+* ``PRIORITY_DELIVERY`` -- message deliveries;
+* ``PRIORITY_TIMER`` -- node timers (ticks, lost-timers);
+* ``PRIORITY_SAMPLE`` -- measurement/recorder callbacks (observe last).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+__all__ = [
+    "PRIORITY_TOPOLOGY",
+    "PRIORITY_DELIVERY",
+    "PRIORITY_TIMER",
+    "PRIORITY_SAMPLE",
+    "ScheduledEvent",
+]
+
+PRIORITY_TOPOLOGY = 0
+PRIORITY_DELIVERY = 1
+PRIORITY_TIMER = 2
+PRIORITY_SAMPLE = 3
+
+
+class ScheduledEvent:
+    """A pending callback in the event queue.
+
+    Instances double as *handles*: holding a reference allows cancellation
+    via :meth:`repro.sim.queue.EventQueue.cancel` (lazy deletion -- the heap
+    entry stays put and is skipped when popped).
+
+    Attributes
+    ----------
+    time:
+        Absolute simulation time at which the event fires.
+    priority:
+        Tie-break class (see module docstring).
+    seq:
+        Monotonic insertion index; the final tie-break.
+    callback:
+        Zero-argument callable invoked when the event fires.  Arguments are
+        bound at scheduling time (closures or ``functools.partial``).
+    cancelled:
+        Set by :meth:`EventQueue.cancel`; cancelled events are skipped.
+    """
+
+    __slots__ = ("time", "priority", "seq", "callback", "cancelled", "label")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        callback: Callable[[], Any],
+        label: str = "",
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+        self.label = label
+
+    @property
+    def sort_key(self) -> tuple[float, int, int]:
+        """Heap ordering key: ``(time, priority, seq)``."""
+        return (self.time, self.priority, self.seq)
+
+    def __lt__(self, other: "ScheduledEvent") -> bool:
+        return self.sort_key < other.sort_key
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else "pending"
+        lbl = f" {self.label!r}" if self.label else ""
+        return (
+            f"<ScheduledEvent t={self.time:.6g} prio={self.priority} "
+            f"seq={self.seq}{lbl} {state}>"
+        )

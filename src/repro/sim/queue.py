@@ -1,0 +1,100 @@
+"""A cancellable binary-heap event queue.
+
+Supports the three operations the simulator needs, all with standard heap
+complexity:
+
+* :meth:`EventQueue.push` -- O(log m);
+* :meth:`EventQueue.pop` -- amortised O(log m) (skips cancelled entries);
+* :meth:`EventQueue.cancel` -- O(1) lazy deletion.
+
+Lazy deletion keeps cancelled :class:`~repro.sim.events.ScheduledEvent`
+records in the heap until they surface; this is the classic approach for
+timer-heavy discrete-event workloads (every message receipt cancels and
+re-arms a lost-timer, so cancellation must be cheap).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+from .events import ScheduledEvent
+
+__all__ = ["EventQueue"]
+
+
+class EventQueue:
+    """Priority queue of :class:`ScheduledEvent` ordered by (time, prio, seq)."""
+
+    __slots__ = ("_heap", "_seq", "_live")
+
+    def __init__(self) -> None:
+        self._heap: list[ScheduledEvent] = []
+        self._seq = 0
+        self._live = 0
+
+    def __len__(self) -> int:
+        """Number of *live* (non-cancelled) events."""
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    @property
+    def raw_size(self) -> int:
+        """Total heap entries including cancelled ones (for tests/metrics)."""
+        return len(self._heap)
+
+    def push(
+        self,
+        time: float,
+        priority: int,
+        callback: Callable[[], Any],
+        label: str = "",
+    ) -> ScheduledEvent:
+        """Schedule ``callback`` at ``time``; returns a cancellable handle."""
+        ev = ScheduledEvent(time, priority, self._seq, callback, label)
+        self._seq += 1
+        heapq.heappush(self._heap, ev)
+        self._live += 1
+        return ev
+
+    def cancel(self, event: ScheduledEvent) -> bool:
+        """Cancel a previously pushed event.
+
+        Returns ``True`` if the event was live and is now cancelled, ``False``
+        if it had already been cancelled (popping an event removes it from
+        the queue, so a handle that already fired cannot be cancelled --
+        callers that re-arm timers always hold the freshest handle).
+        """
+        if event.cancelled:
+            return False
+        event.cancelled = True
+        self._live -= 1
+        return True
+
+    def peek_time(self) -> float | None:
+        """Time of the next live event, or ``None`` if the queue is empty."""
+        self._drop_cancelled()
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def pop(self) -> ScheduledEvent | None:
+        """Remove and return the next live event (``None`` when empty)."""
+        self._drop_cancelled()
+        if not self._heap:
+            return None
+        ev = heapq.heappop(self._heap)
+        self._live -= 1
+        return ev
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()
+        self._live = 0
+
+    def _drop_cancelled(self) -> None:
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)

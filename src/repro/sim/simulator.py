@@ -1,0 +1,183 @@
+"""The discrete-event simulation kernel.
+
+:class:`Simulator` owns the virtual clock and the event queue and exposes the
+scheduling API every other subsystem builds on.  The design follows the Timed
+I/O Automata flavour of the paper's model (Section 3.2): the *environment*
+(topology changes, message deliveries, discovery notifications) and the
+*nodes* (timer alarms) both manifest as scheduled callbacks; within a single
+timestamp the kernel orders environment effects before node timers and
+measurement hooks last (see :mod:`repro.sim.events` priorities).
+
+The kernel is deliberately minimal -- no processes, no coroutines -- because
+the workloads here are callback-shaped and performance matters: a benchmark
+execution dispatches hundreds of thousands of events.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from .events import (
+    PRIORITY_SAMPLE,
+    PRIORITY_TIMER,
+    ScheduledEvent,
+)
+from .queue import EventQueue
+from .tracing import NULL_TRACE, TraceRecorder
+
+__all__ = ["Simulator", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for scheduling violations (e.g. scheduling into the past)."""
+
+
+class Simulator:
+    """Event loop with a virtual clock.
+
+    Parameters
+    ----------
+    trace:
+        Optional :class:`TraceRecorder`; defaults to the shared no-op trace.
+    max_events:
+        Safety valve: :meth:`run_until` raises after dispatching this many
+        events (guards against accidental event storms in tests).
+    """
+
+    __slots__ = ("now", "queue", "trace", "max_events", "events_dispatched")
+
+    def __init__(
+        self,
+        trace: TraceRecorder | None = None,
+        max_events: int = 50_000_000,
+    ) -> None:
+        self.now = 0.0
+        self.queue = EventQueue()
+        self.trace = trace if trace is not None else NULL_TRACE
+        self.max_events = max_events
+        self.events_dispatched = 0
+
+    # ------------------------------------------------------------------ #
+    # Scheduling
+    # ------------------------------------------------------------------ #
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], Any],
+        *,
+        priority: int = PRIORITY_TIMER,
+        label: str = "",
+    ) -> ScheduledEvent:
+        """Schedule ``callback`` at absolute time ``time``.
+
+        ``time`` may equal :attr:`now` (the event fires later in the current
+        timestamp, after all earlier-queued same-time events of lower or
+        equal priority); scheduling strictly into the past raises.
+        """
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time!r} < now={self.now!r}"
+            )
+        return self.queue.push(time, priority, callback, label)
+
+    def schedule_in(
+        self,
+        delay: float,
+        callback: Callable[[], Any],
+        *,
+        priority: int = PRIORITY_TIMER,
+        label: str = "",
+    ) -> ScheduledEvent:
+        """Schedule ``callback`` after a non-negative real-time ``delay``."""
+        if delay < 0.0:
+            raise SimulationError(f"delay must be non-negative; got {delay!r}")
+        return self.queue.push(self.now + delay, priority, callback, label)
+
+    def cancel(self, event: ScheduledEvent) -> bool:
+        """Cancel a scheduled event (returns whether it was still live)."""
+        return self.queue.cancel(event)
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    def step(self) -> bool:
+        """Dispatch the single next event.
+
+        Returns ``False`` when the queue is empty, ``True`` otherwise.
+        """
+        ev = self.queue.pop()
+        if ev is None:
+            return False
+        if ev.time < self.now:  # pragma: no cover - defensive
+            raise SimulationError("event queue returned an event in the past")
+        self.now = ev.time
+        self.events_dispatched += 1
+        if self.events_dispatched > self.max_events:
+            raise SimulationError(
+                f"exceeded max_events={self.max_events}; runaway simulation?"
+            )
+        ev.callback()
+        return True
+
+    def run_until(self, t_end: float) -> None:
+        """Dispatch every event with time ``<= t_end``; set ``now = t_end``.
+
+        Events scheduled *during* the run are honoured if they fall within
+        the horizon.  After returning, :attr:`now` equals ``t_end`` even if
+        the queue drained early, so callers can continue scheduling from a
+        well-defined time.
+        """
+        if t_end < self.now:
+            raise SimulationError(
+                f"cannot run to t={t_end!r} < now={self.now!r}"
+            )
+        queue = self.queue
+        while True:
+            nxt = queue.peek_time()
+            if nxt is None or nxt > t_end:
+                break
+            self.step()
+        self.now = t_end
+
+    def run_until_idle(self, t_cap: float | None = None) -> None:
+        """Dispatch until the queue is empty (or ``t_cap`` reached)."""
+        while True:
+            nxt = self.queue.peek_time()
+            if nxt is None:
+                return
+            if t_cap is not None and nxt > t_cap:
+                self.now = t_cap
+                return
+            self.step()
+
+    # ------------------------------------------------------------------ #
+    # Measurement helpers
+    # ------------------------------------------------------------------ #
+
+    def every(
+        self,
+        interval: float,
+        callback: Callable[[float], Any],
+        *,
+        start: float | None = None,
+        end: float | None = None,
+    ) -> None:
+        """Install a periodic measurement callback.
+
+        ``callback(now)`` fires at ``start, start+interval, ...`` (default
+        start: now) with :data:`PRIORITY_SAMPLE` so it observes each
+        timestamp *after* all model activity.  Re-arms itself until ``end``.
+        """
+        if interval <= 0.0:
+            raise SimulationError(f"interval must be positive; got {interval!r}")
+        t0 = self.now if start is None else start
+
+        def fire() -> None:
+            callback(self.now)
+            nxt = self.now + interval
+            if end is None or nxt <= end:
+                self.schedule_at(nxt, fire, priority=PRIORITY_SAMPLE, label="sample")
+
+        self.schedule_at(max(t0, self.now), fire, priority=PRIORITY_SAMPLE, label="sample")

@@ -1,0 +1,120 @@
+"""Structured execution tracing.
+
+A :class:`TraceRecorder` collects lightweight ``TraceRecord`` tuples from the
+simulator and any subsystem that wants to narrate what it is doing (message
+sends, deliveries, discovery events, clock jumps).  Tracing is off by default
+-- the null recorder's :meth:`~TraceRecorder.record` is a no-op guarded by a
+single attribute check -- so fully instrumented code pays ~nothing when a
+trace is not requested.
+
+Traces serve three purposes here:
+
+* debugging algorithm behaviour on small executions;
+* determinism tests (same seed => byte-identical trace);
+* the lower-bound experiments, which assert facts about *which* messages
+  were exchanged (e.g. that no information crossed a cut before some time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator
+
+__all__ = ["TraceRecord", "TraceRecorder", "NULL_TRACE"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced occurrence.
+
+    Attributes
+    ----------
+    time:
+        Simulation time of the occurrence.
+    kind:
+        Short category string, e.g. ``"send"``, ``"recv"``, ``"jump"``,
+        ``"discover_add"``, ``"edge_add"``.
+    subject:
+        Primary entity (usually a node id) the record concerns.
+    detail:
+        Free-form payload tuple (kept hashable for equality tests).
+    """
+
+    time: float
+    kind: str
+    subject: Any
+    detail: tuple[Any, ...] = ()
+
+
+class TraceRecorder:
+    """Accumulates :class:`TraceRecord` entries.
+
+    Parameters
+    ----------
+    enabled:
+        When ``False`` the recorder drops records (used for the shared
+        :data:`NULL_TRACE` instance).
+    capacity:
+        Optional bound on retained records; older entries are discarded
+        FIFO once exceeded (``None`` = unbounded).
+    kinds:
+        Optional allow-list of record kinds to retain.
+    """
+
+    __slots__ = ("enabled", "_records", "_capacity", "_kinds", "dropped")
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        capacity: int | None = None,
+        kinds: Iterable[str] | None = None,
+    ) -> None:
+        self.enabled = enabled
+        self._records: list[TraceRecord] = []
+        self._capacity = capacity
+        self._kinds = frozenset(kinds) if kinds is not None else None
+        self.dropped = 0
+
+    def record(self, time: float, kind: str, subject: Any, *detail: Any) -> None:
+        """Append a record (no-op when disabled or kind filtered out)."""
+        if not self.enabled:
+            return
+        if self._kinds is not None and kind not in self._kinds:
+            return
+        self._records.append(TraceRecord(time, kind, subject, detail))
+        if self._capacity is not None and len(self._records) > self._capacity:
+            # Trim in blocks to keep amortised cost low.
+            excess = len(self._records) - self._capacity
+            del self._records[:excess]
+            self.dropped += excess
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    @property
+    def records(self) -> list[TraceRecord]:
+        """All retained records (the live list; do not mutate)."""
+        return self._records
+
+    def filter(self, kind: str | None = None, subject: Any = None) -> list[TraceRecord]:
+        """Return records matching the given kind and/or subject."""
+        out = []
+        for r in self._records:
+            if kind is not None and r.kind != kind:
+                continue
+            if subject is not None and r.subject != subject:
+                continue
+            out.append(r)
+        return out
+
+    def clear(self) -> None:
+        """Drop all retained records."""
+        self._records.clear()
+        self.dropped = 0
+
+
+#: Shared disabled recorder; safe to pass anywhere a trace is optional.
+NULL_TRACE = TraceRecorder(enabled=False)

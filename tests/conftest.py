@@ -1,0 +1,36 @@
+"""Shared fixtures and hypothesis settings for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro import SystemParams
+
+# Keep property tests fast and deterministic in CI.
+settings.register_profile(
+    "ci",
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("ci")
+
+
+@pytest.fixture
+def params8() -> SystemParams:
+    """Small validated parameter set (n=8, defaults)."""
+    return SystemParams.for_network(8)
+
+
+@pytest.fixture
+def params16() -> SystemParams:
+    """Medium validated parameter set (n=16, defaults)."""
+    return SystemParams.for_network(16)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic numpy Generator."""
+    return np.random.default_rng(12345)

@@ -1,0 +1,219 @@
+"""Tests for churn processes, including interval-connectivity guarantees."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.churn import (
+    EdgeFlapper,
+    MobileGeometricChurn,
+    RandomRewirer,
+    RotatingBackboneChurn,
+    ScriptedChurn,
+)
+from repro.network.eventlog import GraphEventLog
+from repro.network.graph import DynamicGraph
+from repro.network.topology import path_edges
+from repro.sim.simulator import Simulator
+
+
+class TestScriptedChurn:
+    def test_replays_events_in_order(self):
+        sim = Simulator()
+        g = DynamicGraph(range(4), [(0, 1)])
+        churn = ScriptedChurn(
+            [(2.0, "add", 1, 2), (4.0, "remove", 0, 1), (5.0, "add", 0, 3)]
+        )
+        churn.install(sim, g)
+        sim.run_until(10.0)
+        assert g.has_edge(1, 2) and g.has_edge(0, 3)
+        assert not g.has_edge(0, 1)
+
+    def test_bad_op_rejected(self):
+        with pytest.raises(ValueError):
+            ScriptedChurn([(1.0, "toggle", 0, 1)])
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            ScriptedChurn([(-1.0, "add", 0, 1)])
+
+
+class TestEdgeFlapper:
+    def test_edge_toggles(self, rng):
+        sim = Simulator()
+        g = DynamicGraph(range(3), [])
+        flapper = EdgeFlapper([(0, 2)], up=2.0, down=3.0, rng=rng, horizon=40.0)
+        flapper.install(sim, g)
+        sim.run_until(50.0)
+        hist = g.history(0, 2)
+        assert len(hist) >= 4
+        # Alternating add/remove.
+        for (t1, a1), (t2, a2) in zip(hist, hist[1:]):
+            assert a1 != a2
+            assert t2 > t1
+
+    def test_up_down_durations(self, rng):
+        sim = Simulator()
+        g = DynamicGraph(range(2), [])
+        flapper = EdgeFlapper([(0, 1)], up=2.0, down=3.0, rng=rng, horizon=30.0)
+        flapper.install(sim, g)
+        sim.run_until(40.0)
+        hist = g.history(0, 1)
+        ups = [t2 - t1 for (t1, a1), (t2, _a2) in zip(hist, hist[1:]) if a1]
+        assert all(abs(u - 2.0) < 1e-9 for u in ups)
+
+    def test_bad_durations(self, rng):
+        with pytest.raises(ValueError):
+            EdgeFlapper([(0, 1)], up=0.0, down=1.0, rng=rng)
+
+
+class TestRandomRewirer:
+    def test_backbone_never_touched(self, rng):
+        sim = Simulator()
+        backbone = path_edges(8)
+        g = DynamicGraph(range(8), backbone)
+        rewirer = RandomRewirer(8, 3, 1.0, rng, protected=backbone, horizon=50.0)
+        rewirer.install(sim, g)
+        sim.run_until(60.0)
+        for u, v in backbone:
+            assert g.has_edge(u, v), "backbone edge was removed"
+        # The graph stays connected throughout (backbone is static).
+        assert g.check_interval_connectivity(5.0, t_end=60.0)
+
+    def test_extra_edge_count_bounded(self, rng):
+        sim = Simulator()
+        backbone = path_edges(6)
+        g = DynamicGraph(range(6), backbone)
+        RandomRewirer(6, 2, 0.5, rng, protected=backbone, horizon=20.0).install(sim, g)
+        sim.run_until(25.0)
+        assert g.edge_count() <= len(backbone) + 2
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            RandomRewirer(4, 0, 1.0, rng)
+        with pytest.raises(ValueError):
+            RandomRewirer(4, 1, 0.0, rng)
+
+
+class TestMobileGeometric:
+    def test_positions_stay_in_unit_square(self, rng):
+        sim = Simulator()
+        pos = rng.random((10, 2))
+        g = DynamicGraph(range(10), [])
+        churn = MobileGeometricChurn(pos, 0.4, 0.05, 1.0, rng, horizon=30.0)
+        churn.install(sim, g)
+        sim.run_until(40.0)
+        assert np.all(churn.pos >= -1e-9) and np.all(churn.pos <= 1 + 1e-9)
+
+    def test_edges_match_radius_after_updates(self, rng):
+        sim = Simulator()
+        pos = rng.random((8, 2))
+        g = DynamicGraph(range(8), [])
+        churn = MobileGeometricChurn(pos, 0.5, 0.02, 2.0, rng, horizon=20.0)
+        churn.install(sim, g)
+        sim.run_until(20.5)
+        desired = churn._desired_edges()
+        assert set(g.edges()) == desired
+
+    def test_backbone_protected(self, rng):
+        sim = Simulator()
+        pos = rng.random((6, 2))
+        backbone = path_edges(6)
+        g = DynamicGraph(range(6), backbone)
+        churn = MobileGeometricChurn(
+            pos, 0.2, 0.1, 1.0, rng, protected=backbone, horizon=20.0
+        )
+        churn.install(sim, g)
+        sim.run_until(25.0)
+        for u, v in backbone:
+            assert g.has_edge(u, v)
+
+    def test_bad_positions_rejected(self, rng):
+        with pytest.raises(ValueError):
+            MobileGeometricChurn(np.zeros((4, 3)), 0.3, 0.1, 1.0, rng)
+
+
+class TestRotatingBackbone:
+    def test_interval_connectivity_guarantee(self, rng):
+        """No edge is permanent, yet overlap-interval connectivity holds."""
+        sim = Simulator()
+        g = DynamicGraph(range(8), [])
+        churn = RotatingBackboneChurn(8, window=20.0, overlap=5.0, rng=rng, horizon=100.0)
+        churn.install(sim, g)
+        sim.run_until(110.0)
+        assert g.check_interval_connectivity(5.0, t_end=95.0)
+
+    def test_edges_are_transient(self, rng):
+        sim = Simulator()
+        g = DynamicGraph(range(6), [])
+        churn = RotatingBackboneChurn(6, window=10.0, overlap=3.0, rng=rng, horizon=80.0)
+        churn.install(sim, g)
+        sim.run_until(100.0)
+        # With random paths per window, at least one edge present early
+        # must eventually be removed.
+        removed_any = any(
+            any(not added for _t, added in g.history(u, v))
+            for u in range(6)
+            for v in range(u + 1, 6)
+        )
+        assert removed_any
+
+    def test_overlap_validation(self, rng):
+        with pytest.raises(ValueError):
+            RotatingBackboneChurn(4, window=5.0, overlap=5.0, rng=rng, horizon=10.0)
+
+
+class TestEventLog:
+    def test_capture_and_replay(self, rng):
+        sim = Simulator()
+        g = DynamicGraph(range(5), [(0, 1)])
+        log = GraphEventLog()
+        log.attach(g)
+        ScriptedChurn([(1.0, "add", 1, 2), (2.0, "remove", 0, 1)]).install(sim, g)
+        sim.run_until(5.0)
+        assert log.events == [(1.0, "add", 1, 2), (2.0, "remove", 0, 1)]
+        # Replay onto a fresh graph.
+        sim2 = Simulator()
+        g2 = DynamicGraph(range(5), [(0, 1)])
+        log.as_churn().install(sim2, g2)
+        sim2.run_until(5.0)
+        assert set(g2.edges()) == set(g.edges())
+
+    def test_csv_round_trip(self):
+        log = GraphEventLog.from_events([(1.5, "add", 0, 3), (2.0, "remove", 0, 3)])
+        text = log.to_csv()
+        back = GraphEventLog.from_csv(text)
+        assert back.events == log.events
+
+    def test_initial_edges_extraction(self):
+        log = GraphEventLog.from_events(
+            [(0.0, "add", 0, 1), (1.0, "add", 1, 2)]
+        )
+        assert log.initial_edges() == [(0, 1)]
+        assert log.as_churn().events == [(1.0, "add", 1, 2)]
+
+    def test_bad_op_rejected(self):
+        with pytest.raises(ValueError):
+            GraphEventLog().record(1.0, "flip", 0, 1)
+
+
+@settings(max_examples=20)
+@given(
+    n=st.integers(min_value=3, max_value=8),
+    window=st.floats(min_value=8.0, max_value=25.0),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_property_rotating_backbone_interval_connected(n, window, seed):
+    """For any size/window/seed, overlap-interval connectivity holds."""
+    overlap = window / 4.0
+    sim = Simulator()
+    g = DynamicGraph(range(n), [])
+    rng = np.random.default_rng(seed)
+    RotatingBackboneChurn(n, window=window, overlap=overlap, rng=rng, horizon=6 * window).install(
+        sim, g
+    )
+    sim.run_until(6 * window + 1.0)
+    assert g.check_interval_connectivity(overlap, t_end=5 * window)

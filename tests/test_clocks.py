@@ -1,0 +1,155 @@
+"""Tests for hardware clock models: exactness, inversion, drift bounds."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.clocks import (
+    ConstantRateClock,
+    PiecewiseRateClock,
+    extremal_clock,
+    perfect_clock,
+    random_walk_clock,
+    sinusoidal_clock,
+    two_phase_clock,
+    validate_drift,
+)
+
+
+class TestConstantRateClock:
+    def test_perfect_clock_identity(self):
+        c = perfect_clock()
+        assert c.value(3.7) == 3.7
+        assert c.time_at(3.7) == 3.7
+
+    def test_fast_clock(self):
+        c = ConstantRateClock(1.25)
+        assert c.value(4.0) == pytest.approx(5.0)
+        assert c.time_at(5.0) == pytest.approx(4.0)
+
+    def test_zero_rate_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantRateClock(0.0)
+
+    def test_extremal_clocks(self):
+        fast = extremal_clock(0.1, fast=True)
+        slow = extremal_clock(0.1, fast=False)
+        assert fast.value(10.0) == pytest.approx(11.0)
+        assert slow.value(10.0) == pytest.approx(9.0)
+
+
+class TestPiecewiseRateClock:
+    def test_two_segments_exact(self):
+        c = PiecewiseRateClock([0.0, 10.0], [2.0, 0.5])
+        assert c.value(10.0) == pytest.approx(20.0)
+        assert c.value(14.0) == pytest.approx(22.0)
+        assert c.time_at(22.0) == pytest.approx(14.0)
+
+    def test_rate_at(self):
+        c = PiecewiseRateClock([0.0, 10.0], [2.0, 0.5])
+        assert c.rate_at(5.0) == 2.0
+        assert c.rate_at(10.0) == 0.5  # boundary belongs to the new segment
+
+    def test_rate_bounds(self):
+        c = PiecewiseRateClock([0.0, 1.0, 2.0], [1.1, 0.9, 1.0])
+        assert c.rate_bounds() == (0.9, 1.1)
+
+    def test_must_start_at_zero(self):
+        with pytest.raises(ValueError):
+            PiecewiseRateClock([1.0], [1.0])
+
+    def test_times_strictly_increasing(self):
+        with pytest.raises(ValueError):
+            PiecewiseRateClock([0.0, 5.0, 5.0], [1.0, 1.0, 1.0])
+
+    def test_negative_time_query_rejected(self):
+        c = PiecewiseRateClock([0.0], [1.0])
+        with pytest.raises(ValueError):
+            c.value(-1.0)
+
+    def test_two_phase_closed_form(self):
+        # H(t) = t + min(rho t, T d) for the beta execution of Lemma 4.2.
+        rho, t_bound, d = 0.05, 1.0, 4
+        c = two_phase_clock(rho, switch_time=t_bound * d / rho)
+        for t in (0.0, 10.0, 79.9, 80.0, 100.0, 500.0):
+            assert c.value(t) == pytest.approx(t + min(rho * t, t_bound * d))
+
+    def test_two_phase_zero_switch_is_perfect(self):
+        c = two_phase_clock(0.05, switch_time=0.0)
+        assert c.value(7.0) == pytest.approx(7.0)
+
+
+class TestScheduleBuilders:
+    def test_random_walk_within_drift(self, rng):
+        c = random_walk_clock(0.03, horizon=100.0, segment=5.0, rng=rng)
+        validate_drift(c, 0.03)
+
+    def test_random_walk_bad_persistence(self, rng):
+        with pytest.raises(ValueError):
+            random_walk_clock(0.01, horizon=10.0, segment=1.0, rng=rng, persistence=1.0)
+
+    def test_sinusoidal_within_drift(self):
+        c = sinusoidal_clock(0.02, period=50.0, horizon=200.0)
+        validate_drift(c, 0.02)
+
+    def test_sinusoidal_needs_samples(self):
+        with pytest.raises(ValueError):
+            sinusoidal_clock(0.02, period=50.0, horizon=100.0, samples_per_period=2)
+
+    def test_validate_drift_rejects_violation(self):
+        c = ConstantRateClock(1.2)
+        with pytest.raises(ValueError, match="drift"):
+            validate_drift(c, 0.1)
+
+
+@st.composite
+def piecewise_clocks(draw):
+    """Random admissible piecewise clocks with rho = 0.2."""
+    k = draw(st.integers(min_value=1, max_value=8))
+    gaps = draw(
+        st.lists(
+            st.floats(min_value=0.1, max_value=20.0, allow_nan=False),
+            min_size=k - 1,
+            max_size=k - 1,
+        )
+    )
+    times = [0.0]
+    for g in gaps:
+        times.append(times[-1] + g)
+    rates = draw(
+        st.lists(
+            st.floats(min_value=0.8, max_value=1.2, allow_nan=False),
+            min_size=k,
+            max_size=k,
+        )
+    )
+    return PiecewiseRateClock(times, rates)
+
+
+@given(piecewise_clocks(), st.floats(min_value=0.0, max_value=200.0, allow_nan=False))
+def test_property_inverse_round_trip(clock, t):
+    """time_at(value(t)) == t for strictly increasing clocks."""
+    assert clock.time_at(clock.value(t)) == pytest.approx(t, abs=1e-9)
+
+
+@given(
+    piecewise_clocks(),
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+)
+def test_property_drift_bound_on_increments(clock, t1, dt):
+    """Increments obey (1-rho) dt <= H(t2) - H(t1) <= (1+rho) dt."""
+    rho = 0.2 + 1e-9
+    t2 = t1 + dt
+    dh = clock.value(t2) - clock.value(t1)
+    assert (1 - rho) * dt - 1e-9 <= dh <= (1 + rho) * dt + 1e-9
+
+
+@given(piecewise_clocks())
+def test_property_strictly_increasing(clock):
+    ts = np.linspace(0.0, 150.0, 97)
+    vals = [clock.value(float(t)) for t in ts]
+    assert all(b > a for a, b in zip(vals, vals[1:]))

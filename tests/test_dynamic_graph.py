@@ -1,0 +1,191 @@
+"""Tests for the event-sourced dynamic graph and interval connectivity."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.network.graph import DynamicGraph, GraphError, edge_key
+from repro.network.topology import path_edges, ring_edges
+
+
+class TestBasics:
+    def test_initial_edges(self):
+        g = DynamicGraph(range(4), [(0, 1), (1, 2)])
+        assert g.has_edge(0, 1) and g.has_edge(2, 1)
+        assert not g.has_edge(0, 2)
+        assert g.edge_count() == 2
+
+    def test_edge_key_canonical(self):
+        assert edge_key(3, 1) == (1, 3) == edge_key(1, 3)
+
+    def test_duplicate_nodes_rejected(self):
+        with pytest.raises(GraphError):
+            DynamicGraph([1, 1, 2])
+
+    def test_self_loop_rejected(self):
+        g = DynamicGraph(range(3))
+        with pytest.raises(GraphError):
+            g.add_edge(1, 1, 0.0)
+
+    def test_unknown_node_rejected(self):
+        g = DynamicGraph(range(3))
+        with pytest.raises(GraphError):
+            g.add_edge(0, 99, 0.0)
+
+    def test_double_add_rejected(self):
+        g = DynamicGraph(range(3), [(0, 1)])
+        with pytest.raises(GraphError):
+            g.add_edge(1, 0, 1.0)
+
+    def test_remove_absent_rejected(self):
+        g = DynamicGraph(range(3))
+        with pytest.raises(GraphError):
+            g.remove_edge(0, 1, 1.0)
+
+    def test_time_ordering_enforced(self):
+        g = DynamicGraph(range(3))
+        g.add_edge(0, 1, 5.0)
+        with pytest.raises(GraphError):
+            g.add_edge(1, 2, 4.0)
+
+    def test_same_instant_same_edge_rejected(self):
+        g = DynamicGraph(range(3))
+        g.add_edge(0, 1, 5.0)
+        with pytest.raises(GraphError):
+            g.remove_edge(0, 1, 5.0)
+
+    def test_neighbors_and_degree(self):
+        g = DynamicGraph(range(4), ring_edges(4))
+        assert g.degree(0) == 2
+        assert g.neighbors(0) == {1, 3}
+
+    def test_listeners_invoked(self):
+        g = DynamicGraph(range(3))
+        events = []
+        g.subscribe(lambda t, u, v, a: events.append((t, u, v, a)))
+        g.add_edge(2, 0, 1.0)
+        g.remove_edge(0, 2, 2.0)
+        assert events == [(1.0, 0, 2, True), (2.0, 0, 2, False)]
+
+
+class TestHistory:
+    def _flappy(self):
+        g = DynamicGraph(range(2))
+        g.add_edge(0, 1, 1.0)
+        g.remove_edge(0, 1, 3.0)
+        g.add_edge(0, 1, 5.0)
+        return g
+
+    def test_exists_at(self):
+        g = self._flappy()
+        assert not g.exists_at(0, 1, 0.5)
+        assert g.exists_at(0, 1, 1.0)   # state after the event at t=1
+        assert g.exists_at(0, 1, 2.9)
+        assert not g.exists_at(0, 1, 3.0)  # removed at t=3 inclusive
+        assert not g.exists_at(0, 1, 4.9)
+        assert g.exists_at(0, 1, 5.0)
+
+    def test_removed_during(self):
+        g = self._flappy()
+        assert g.removed_during(0, 1, 2.0, 4.0)
+        assert g.removed_during(0, 1, 2.9, 3.0)  # window is (t1, t2]
+        assert not g.removed_during(0, 1, 3.0, 4.0)
+        assert not g.removed_during(0, 1, 0.0, 0.9)
+
+    def test_exists_throughout(self):
+        g = self._flappy()
+        assert g.exists_throughout(0, 1, 1.0, 2.5)
+        assert not g.exists_throughout(0, 1, 1.0, 3.0)
+        assert g.exists_throughout(0, 1, 5.0, 100.0)
+        with pytest.raises(ValueError):
+            g.exists_throughout(0, 1, 2.0, 1.0)
+
+    def test_edges_at(self):
+        g = self._flappy()
+        assert g.edges_at(2.0) == [(0, 1)]
+        assert g.edges_at(4.0) == []
+
+    def test_history_list(self):
+        g = self._flappy()
+        assert g.history(1, 0) == [(1.0, True), (3.0, False), (5.0, True)]
+
+
+class TestConnectivity:
+    def test_connected_now(self):
+        g = DynamicGraph(range(4), path_edges(4))
+        assert g.is_connected_now()
+        g.remove_edge(1, 2, 1.0)
+        assert not g.is_connected_now()
+
+    def test_single_node_connected(self):
+        assert DynamicGraph([7]).is_connected_now()
+
+    def test_connected_throughout_window(self):
+        g = DynamicGraph(range(3), path_edges(3))
+        g.remove_edge(0, 1, 5.0)
+        g.add_edge(0, 2, 6.0)
+        # During [0, 4] the original path exists throughout.
+        assert g.is_connected_throughout(0.0, 4.0)
+        # During [4, 7] edge (0,1) disappears and (0,2) appears late:
+        # neither exists *throughout*, so the static subgraph is disconnected.
+        assert not g.is_connected_throughout(4.0, 7.0)
+        # After 6, the new topology is stable.
+        assert g.is_connected_throughout(6.0, 10.0)
+
+    def test_interval_connectivity_holds_for_stable_backbone(self):
+        g = DynamicGraph(range(5), path_edges(5))
+        g.add_edge(0, 2, 1.0)
+        g.remove_edge(0, 2, 4.0)
+        g.add_edge(1, 4, 6.0)
+        assert g.check_interval_connectivity(2.0, t_end=10.0)
+
+    def test_interval_connectivity_detects_gap(self):
+        g = DynamicGraph(range(3), path_edges(3))
+        g.remove_edge(0, 1, 5.0)  # permanently disconnects node 0
+        assert not g.check_interval_connectivity(2.0, t_end=10.0)
+
+    def test_distances(self):
+        g = DynamicGraph(range(5), path_edges(5))
+        d = g.distances_from(0)
+        assert d == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_distances_historic(self):
+        g = DynamicGraph(range(4), path_edges(4))
+        g.add_edge(0, 3, 2.0)
+        assert g.distances_from(0, t=1.0)[3] == 3
+        assert g.distances_from(0, t=2.5)[3] == 1
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 5), st.integers(0, 5), st.booleans()),
+        max_size=40,
+    )
+)
+def test_property_exists_at_matches_replay(script):
+    """exists_at(t) agrees with a naive forward replay of the history."""
+    g = DynamicGraph(range(6))
+    applied = []  # (time, u, v, added)
+    t = 1.0
+    for u, v, want_add in script:
+        if u == v:
+            continue
+        if want_add and not g.has_edge(u, v):
+            g.add_edge(u, v, t)
+            applied.append((t, *edge_key(u, v), True))
+        elif not want_add and g.has_edge(u, v):
+            g.remove_edge(u, v, t)
+            applied.append((t, *edge_key(u, v), False))
+        t += 1.0
+    # Naive replay check at half-integer probe times.
+    probe = 0.5
+    while probe < t + 1:
+        state: dict[tuple[int, int], bool] = {}
+        for et, u, v, added in applied:
+            if et <= probe:
+                state[(u, v)] = added
+        for (u, v), present in state.items():
+            assert g.exists_at(u, v, probe) == present
+        probe += 1.0

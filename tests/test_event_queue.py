@@ -1,0 +1,154 @@
+"""Tests for the cancellable event queue and event ordering."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.events import (
+    PRIORITY_DELIVERY,
+    PRIORITY_SAMPLE,
+    PRIORITY_TIMER,
+    PRIORITY_TOPOLOGY,
+    ScheduledEvent,
+)
+from repro.sim.queue import EventQueue
+
+
+def _noop() -> None:
+    pass
+
+
+class TestOrdering:
+    def test_pops_in_time_order(self):
+        q = EventQueue()
+        q.push(3.0, 0, _noop, "c")
+        q.push(1.0, 0, _noop, "a")
+        q.push(2.0, 0, _noop, "b")
+        assert [q.pop().label for _ in range(3)] == ["a", "b", "c"]
+
+    def test_priority_breaks_time_ties(self):
+        q = EventQueue()
+        q.push(1.0, PRIORITY_TIMER, _noop, "timer")
+        q.push(1.0, PRIORITY_TOPOLOGY, _noop, "topology")
+        q.push(1.0, PRIORITY_SAMPLE, _noop, "sample")
+        q.push(1.0, PRIORITY_DELIVERY, _noop, "delivery")
+        order = [q.pop().label for _ in range(4)]
+        assert order == ["topology", "delivery", "timer", "sample"]
+
+    def test_insertion_order_breaks_full_ties(self):
+        q = EventQueue()
+        for i in range(10):
+            q.push(1.0, 0, _noop, str(i))
+        assert [q.pop().label for _ in range(10)] == [str(i) for i in range(10)]
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.push(5.0, 0, _noop)
+        q.push(2.0, 0, _noop)
+        assert q.peek_time() == 2.0
+
+    def test_pop_empty_returns_none(self):
+        assert EventQueue().pop() is None
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        q = EventQueue()
+        h1 = q.push(1.0, 0, _noop, "a")
+        q.push(2.0, 0, _noop, "b")
+        assert q.cancel(h1) is True
+        assert q.pop().label == "b"
+
+    def test_double_cancel_returns_false(self):
+        q = EventQueue()
+        h = q.push(1.0, 0, _noop)
+        assert q.cancel(h) is True
+        assert q.cancel(h) is False
+
+    def test_len_counts_live_only(self):
+        q = EventQueue()
+        h = q.push(1.0, 0, _noop)
+        q.push(2.0, 0, _noop)
+        assert len(q) == 2
+        q.cancel(h)
+        assert len(q) == 1
+        assert q.raw_size == 2  # lazy deletion keeps the heap entry
+
+    def test_peek_skips_cancelled_head(self):
+        q = EventQueue()
+        h = q.push(1.0, 0, _noop)
+        q.push(3.0, 0, _noop)
+        q.cancel(h)
+        assert q.peek_time() == 3.0
+
+    def test_clear(self):
+        q = EventQueue()
+        q.push(1.0, 0, _noop)
+        q.clear()
+        assert len(q) == 0 and q.pop() is None
+
+
+class TestScheduledEvent:
+    def test_sort_key(self):
+        e = ScheduledEvent(1.5, 2, 7, _noop)
+        assert e.sort_key == (1.5, 2, 7)
+
+    def test_lt_uses_key(self):
+        a = ScheduledEvent(1.0, 0, 0, _noop)
+        b = ScheduledEvent(1.0, 0, 1, _noop)
+        assert a < b and not (b < a)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            st.integers(min_value=0, max_value=3),
+        ),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_property_pop_sequence_sorted(items):
+    """Popped (time, priority, seq) keys are globally non-decreasing."""
+    q = EventQueue()
+    for t, p in items:
+        q.push(t, p, _noop)
+    keys = []
+    while True:
+        ev = q.pop()
+        if ev is None:
+            break
+        keys.append(ev.sort_key)
+    assert keys == sorted(keys)
+    assert len(keys) == len(items)
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+        min_size=2,
+        max_size=40,
+    ),
+    st.data(),
+)
+def test_property_cancellation_removes_exactly_selected(times, data):
+    """Cancelling a random subset yields exactly the complement, in order."""
+    q = EventQueue()
+    handles = [q.push(t, 0, _noop, str(i)) for i, t in enumerate(times)]
+    to_cancel = data.draw(
+        st.sets(st.integers(min_value=0, max_value=len(times) - 1))
+    )
+    for i in to_cancel:
+        q.cancel(handles[i])
+    popped = []
+    while True:
+        ev = q.pop()
+        if ev is None:
+            break
+        popped.append(int(ev.label))
+    expected = [i for i in range(len(times)) if i not in to_cancel]
+    assert sorted(popped) == expected

@@ -1,0 +1,36 @@
+"""Smoke test: every example script imports cleanly (no execution).
+
+Full example runs take tens of seconds; importing them catches API drift,
+syntax errors and missing symbols at test-suite cost of milliseconds. The
+scripts guard execution behind ``if __name__ == "__main__"``.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_imports(path: pathlib.Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)  # defines main() but does not run it
+    assert hasattr(module, "main"), f"{path.name} should expose main()"
+
+
+def test_examples_present():
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "tdma_wireless",
+        "edge_insertion",
+        "churn_stress",
+        "lower_bound_demo",
+    } <= names

@@ -1,0 +1,137 @@
+"""Tests for the experiment harness: configs, wiring, determinism."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import SystemParams
+from repro.harness import ExperimentConfig, build_experiment, configs, run_experiment
+from repro.network.topology import path_edges
+
+
+class TestConfigs:
+    def test_all_canned_configs_build(self):
+        cfgs = [
+            configs.static_path(8, horizon=20.0),
+            configs.static_ring(8, horizon=20.0),
+            configs.static_grid(2, 4, horizon=20.0),
+            configs.backbone_churn(8, horizon=20.0),
+            configs.rotating_backbone(8, horizon=50.0, window=12.0),
+            configs.mobile_network(8, horizon=20.0),
+            configs.edge_insertion(8, t_insert=10.0, horizon=30.0),
+            configs.flapping_edges(8, horizon=20.0),
+            configs.two_chain_insertion(10, t_insert=10.0, horizon=30.0),
+        ]
+        for cfg in cfgs:
+            exp = build_experiment(cfg)
+            assert len(exp.nodes) == cfg.params.n
+
+    def test_unknown_algorithm_rejected(self):
+        cfg = configs.static_path(4)
+        cfg.algorithm = "nope"
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            build_experiment(cfg)
+
+    def test_unknown_specs_rejected(self):
+        cfg = configs.static_path(4)
+        cfg.clock_spec = "warp"
+        with pytest.raises(ValueError, match="clock spec"):
+            build_experiment(cfg)
+        cfg = configs.static_path(4)
+        cfg.delay_spec = "warp"
+        with pytest.raises(ValueError, match="delay spec"):
+            build_experiment(cfg)
+        cfg = configs.static_path(4)
+        cfg.discovery_spec = "warp"
+        with pytest.raises(ValueError, match="discovery spec"):
+            build_experiment(cfg)
+
+    def test_callable_specs(self):
+        from repro.network.channels import ConstantDelay
+        from repro.network.discovery import ConstantDiscovery
+        from repro.sim.clocks import ConstantRateClock
+
+        cfg = ExperimentConfig(
+            params=SystemParams.for_network(4),
+            initial_edges=path_edges(4),
+            clock_spec=lambda i, p, rng, h: ConstantRateClock(1.0),
+            delay_spec=lambda p, rng: ConstantDelay(0.1),
+            discovery_spec=lambda p, rng: ConstantDiscovery(0.1),
+            horizon=10.0,
+        )
+        res = run_experiment(cfg)
+        assert res.max_global_skew >= 0.0
+
+    def test_drift_violating_clock_spec_rejected(self):
+        from repro.sim.clocks import ConstantRateClock
+
+        cfg = ExperimentConfig(
+            params=SystemParams.for_network(4),
+            initial_edges=path_edges(4),
+            clock_spec=lambda i, p, rng, h: ConstantRateClock(2.0),
+            horizon=10.0,
+        )
+        with pytest.raises(ValueError, match="drift"):
+            build_experiment(cfg)
+
+
+class TestRunResult:
+    def test_summary_contains_key_facts(self):
+        res = run_experiment(configs.static_ring(6, horizon=30.0))
+        s = res.summary()
+        assert "n=6" in s and "global skew" in s and "messages" in s
+
+    def test_stats_exposed(self):
+        res = run_experiment(configs.static_ring(6, horizon=30.0))
+        assert res.transport_stats["sent"] > 0
+        assert res.events_dispatched > 0
+        assert res.total_jumps() >= 0
+
+    def test_trace_collection(self):
+        cfg = configs.static_path(4, horizon=10.0)
+        cfg.trace = True
+        res = run_experiment(cfg)
+        assert res.trace is not None
+        assert len(res.trace.filter(kind="send")) > 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_results(self):
+        a = run_experiment(configs.backbone_churn(8, horizon=40.0, seed=11))
+        b = run_experiment(configs.backbone_churn(8, horizon=40.0, seed=11))
+        assert np.array_equal(a.record.clocks, b.record.clocks)
+        assert a.transport_stats == b.transport_stats
+        assert a.events_dispatched == b.events_dispatched
+
+    def test_different_seed_differs(self):
+        a = run_experiment(configs.backbone_churn(8, horizon=40.0, seed=11))
+        b = run_experiment(configs.backbone_churn(8, horizon=40.0, seed=12))
+        assert not np.array_equal(a.record.clocks, b.record.clocks)
+
+    def test_trace_determinism(self):
+        cfg1 = configs.static_path(5, horizon=20.0, seed=3)
+        cfg1.trace = True
+        cfg2 = configs.static_path(5, horizon=20.0, seed=3)
+        cfg2.trace = True
+        t1 = run_experiment(cfg1).trace.records
+        t2 = run_experiment(cfg2).trace.records
+        assert t1 == t2
+
+
+class TestClockSpecs:
+    @pytest.mark.parametrize(
+        "spec", ["perfect", "random_walk", "split", "alternating", "uniform"]
+    )
+    def test_all_specs_run(self, spec):
+        cfg = configs.static_path(6, horizon=15.0)
+        cfg.clock_spec = spec
+        res = run_experiment(cfg)
+        assert res.record.samples > 0
+
+    @pytest.mark.parametrize("spec", ["uniform", "max", "half", "zero"])
+    def test_all_delay_specs_run(self, spec):
+        cfg = configs.static_path(6, horizon=15.0)
+        cfg.delay_spec = spec
+        res = run_experiment(cfg)
+        assert res.transport_stats["delivered"] > 0

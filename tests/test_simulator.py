@@ -1,0 +1,177 @@
+"""Tests for the simulation kernel: scheduling, execution, periodic hooks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.events import PRIORITY_SAMPLE, PRIORITY_TOPOLOGY
+from repro.sim.simulator import SimulationError, Simulator
+from repro.sim.tracing import TraceRecorder
+
+
+class TestScheduling:
+    def test_schedule_at_and_run(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(5.0, lambda: fired.append(sim.now))
+        sim.run_until(10.0)
+        assert fired == [5.0]
+        assert sim.now == 10.0
+
+    def test_schedule_in(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_in(2.5, lambda: fired.append(sim.now))
+        sim.run_until(3.0)
+        assert fired == [2.5]
+
+    def test_past_scheduling_rejected(self):
+        sim = Simulator()
+        sim.run_until(5.0)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(4.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule_in(-1.0, lambda: None)
+
+    def test_same_time_scheduling_allowed(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(1.0, lambda: sim.schedule_at(1.0, lambda: fired.append("x")))
+        sim.run_until(2.0)
+        assert fired == ["x"]
+
+    def test_cancel(self):
+        sim = Simulator()
+        fired = []
+        h = sim.schedule_at(1.0, lambda: fired.append("x"))
+        assert sim.cancel(h) is True
+        sim.run_until(2.0)
+        assert fired == []
+
+
+class TestExecution:
+    def test_events_cascade(self):
+        sim = Simulator()
+        log = []
+
+        def first():
+            log.append(("first", sim.now))
+            sim.schedule_in(1.0, second)
+
+        def second():
+            log.append(("second", sim.now))
+
+        sim.schedule_at(1.0, first)
+        sim.run_until(10.0)
+        assert log == [("first", 1.0), ("second", 2.0)]
+
+    def test_run_until_does_not_execute_beyond_horizon(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(5.0, lambda: fired.append("in"))
+        sim.schedule_at(15.0, lambda: fired.append("out"))
+        sim.run_until(10.0)
+        assert fired == ["in"]
+        sim.run_until(20.0)
+        assert fired == ["in", "out"]
+
+    def test_run_backwards_rejected(self):
+        sim = Simulator()
+        sim.run_until(10.0)
+        with pytest.raises(SimulationError):
+            sim.run_until(5.0)
+
+    def test_run_until_idle(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(1.0, lambda: fired.append(1))
+        sim.schedule_at(2.0, lambda: fired.append(2))
+        sim.run_until_idle()
+        assert fired == [1, 2]
+        assert sim.now == 2.0
+
+    def test_max_events_guard(self):
+        sim = Simulator(max_events=10)
+
+        def storm():
+            sim.schedule_in(0.001, storm)
+
+        sim.schedule_at(0.0, storm)
+        with pytest.raises(SimulationError, match="max_events"):
+            sim.run_until(1.0)
+
+    def test_event_counter(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule_at(float(i), lambda: None)
+        sim.run_until(10.0)
+        assert sim.events_dispatched == 5
+
+    def test_priority_ordering_within_timestamp(self):
+        sim = Simulator()
+        log = []
+        sim.schedule_at(1.0, lambda: log.append("timer"))
+        sim.schedule_at(1.0, lambda: log.append("sample"), priority=PRIORITY_SAMPLE)
+        sim.schedule_at(1.0, lambda: log.append("topo"), priority=PRIORITY_TOPOLOGY)
+        sim.run_until(2.0)
+        assert log == ["topo", "timer", "sample"]
+
+
+class TestPeriodic:
+    def test_every_fires_on_schedule(self):
+        sim = Simulator()
+        ts = []
+        sim.every(2.0, ts.append, end=9.0)
+        sim.run_until(10.0)
+        assert ts == [0.0, 2.0, 4.0, 6.0, 8.0]
+
+    def test_every_with_start(self):
+        sim = Simulator()
+        ts = []
+        sim.every(1.0, ts.append, start=3.0, end=5.0)
+        sim.run_until(6.0)
+        assert ts == [3.0, 4.0, 5.0]
+
+    def test_every_bad_interval(self):
+        with pytest.raises(SimulationError):
+            Simulator().every(0.0, lambda t: None)
+
+    def test_every_observes_after_model_activity(self):
+        """PRIORITY_SAMPLE fires after same-timestamp model events."""
+        sim = Simulator()
+        state = {"x": 0}
+        observed = []
+        sim.schedule_at(2.0, lambda: state.__setitem__("x", 42))
+        sim.every(2.0, lambda t: observed.append((t, state["x"])), end=2.0)
+        sim.run_until(3.0)
+        assert observed == [(0.0, 0), (2.0, 42)]
+
+
+class TestTracing:
+    def test_trace_records(self):
+        tr = TraceRecorder()
+        tr.record(1.0, "send", 3, 4)
+        tr.record(2.0, "recv", 4, 3)
+        assert len(tr) == 2
+        assert tr.filter(kind="send")[0].subject == 3
+
+    def test_disabled_trace_drops(self):
+        tr = TraceRecorder(enabled=False)
+        tr.record(1.0, "send", 3)
+        assert len(tr) == 0
+
+    def test_capacity_trims(self):
+        tr = TraceRecorder(capacity=3)
+        for i in range(10):
+            tr.record(float(i), "k", i)
+        assert len(tr) == 3
+        assert tr.dropped == 7
+        assert [r.subject for r in tr] == [7, 8, 9]
+
+    def test_kind_filter(self):
+        tr = TraceRecorder(kinds=["send"])
+        tr.record(1.0, "send", 1)
+        tr.record(1.0, "recv", 2)
+        assert len(tr) == 1

@@ -1,0 +1,244 @@
+"""Tests for the transport: delivery contract, FIFO, drops, discovery."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.network.channels import ConstantDelay, UniformDelay
+from repro.network.discovery import ConstantDiscovery
+from repro.network.graph import DynamicGraph
+from repro.network.transport import Transport
+from repro.sim.simulator import Simulator
+
+import numpy as np
+
+
+class RecordingNode:
+    """Minimal NodeInterface capturing everything it is told."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.messages = []
+        self.added = []
+        self.removed = []
+
+    def on_message(self, sender, payload):
+        self.messages.append((self.sim.now, sender, payload))
+
+    def on_discover_add(self, other):
+        self.added.append((self.sim.now, other))
+
+    def on_discover_remove(self, other):
+        self.removed.append((self.sim.now, other))
+
+
+def make_net(edges, n=4, delay=0.5, disc=1.0, max_delay=1.0, bound=2.0):
+    sim = Simulator()
+    graph = DynamicGraph(range(n), edges)
+    tr = Transport(
+        sim,
+        graph,
+        delay_policy=ConstantDelay(delay),
+        discovery_policy=ConstantDiscovery(disc),
+        max_delay=max_delay,
+        discovery_bound=bound,
+    )
+    nodes = {i: RecordingNode(sim) for i in range(n)}
+    for i, node in nodes.items():
+        tr.register_node(i, node)
+    return sim, graph, tr, nodes
+
+
+class TestDelivery:
+    def test_message_delivered_with_delay(self):
+        sim, graph, tr, nodes = make_net([(0, 1)])
+        tr.send(0, 1, "hello")
+        sim.run_until(1.0)
+        assert nodes[1].messages == [(0.5, 0, "hello")]
+        assert tr.stats.delivered == 1
+
+    def test_delay_bound_enforced(self):
+        sim, graph, tr, nodes = make_net([(0, 1)], delay=2.0, max_delay=1.0)
+        with pytest.raises(ValueError, match="delay policy"):
+            tr.send(0, 1, "x")
+
+    def test_send_without_edge_dropped_and_discovered(self):
+        sim, graph, tr, nodes = make_net([(0, 1)])
+        tr.send(0, 2, "lost")
+        sim.run_until(2.0)
+        assert nodes[2].messages == []
+        assert tr.stats.dropped_no_edge == 1
+        # Sender learns the edge is absent within the discovery bound.
+        assert (1.0, 2) in nodes[0].removed
+
+    def test_message_dropped_when_edge_removed_in_flight(self):
+        sim, graph, tr, nodes = make_net([(0, 1)])
+        tr.send(0, 1, "doomed")
+        sim.schedule_at(0.2, lambda: graph.remove_edge(0, 1, sim.now))
+        sim.run_until(3.0)
+        assert nodes[1].messages == []
+        assert tr.stats.dropped_removed == 1
+
+    def test_message_survives_unrelated_removal(self):
+        sim, graph, tr, nodes = make_net([(0, 1), (2, 3)])
+        tr.send(0, 1, "ok")
+        sim.schedule_at(0.2, lambda: graph.remove_edge(2, 3, sim.now))
+        sim.run_until(1.0)
+        assert [m[2] for m in nodes[1].messages] == ["ok"]
+
+    def test_unknown_node_registration_rejected(self):
+        sim, graph, tr, nodes = make_net([(0, 1)])
+        with pytest.raises(ValueError):
+            tr.register_node(99, RecordingNode(sim))
+        with pytest.raises(ValueError):
+            tr.register_node(0, RecordingNode(sim))
+
+
+class TestFIFO:
+    def test_fifo_order_preserved_under_random_delays(self):
+        sim = Simulator()
+        graph = DynamicGraph(range(2), [(0, 1)])
+        rng = np.random.default_rng(7)
+        tr = Transport(
+            sim,
+            graph,
+            delay_policy=UniformDelay(0.0, 1.0, rng),
+            discovery_policy=ConstantDiscovery(1.0),
+            max_delay=1.0,
+            discovery_bound=2.0,
+        )
+        nodes = {i: RecordingNode(sim) for i in range(2)}
+        for i, node in nodes.items():
+            tr.register_node(i, node)
+        for i in range(50):
+            sim.schedule_at(i * 0.05, lambda i=i: tr.send(0, 1, i))
+        sim.run_until(10.0)
+        received = [m[2] for m in nodes[1].messages]
+        assert received == list(range(50))
+
+    def test_fifo_clamp_never_exceeds_bound(self):
+        """Even when FIFO pushes a delivery later, it stays within send+T."""
+        sim = Simulator()
+        graph = DynamicGraph(range(2), [(0, 1)])
+
+        class Alternating(ConstantDelay):
+            """1.0 for the first message, 0.0 afterwards (FIFO clash)."""
+
+            def __init__(self):
+                super().__init__(0.0)
+                self.first = True
+
+            def delay(self, u, v, t):
+                if self.first:
+                    self.first = False
+                    return 1.0
+                return 0.0
+
+        tr = Transport(
+            sim,
+            graph,
+            delay_policy=Alternating(),
+            discovery_policy=ConstantDiscovery(1.0),
+            max_delay=1.0,
+            discovery_bound=2.0,
+        )
+        node = RecordingNode(sim)
+        tr.register_node(1, node)
+        tr.register_node(0, RecordingNode(sim))
+        tr.send(0, 1, "a")  # delay 1.0 -> arrives 1.0
+        sim.schedule_at(0.5, lambda: tr.send(0, 1, "b"))  # delay 0 -> clamped to 1.0
+        sim.run_until(2.0)
+        times = [m[0] for m in node.messages]
+        assert times == [1.0, 1.0]
+        assert [m[2] for m in node.messages] == ["a", "b"]
+        # Clamped delivery still within the bound of its own send (0.5 + 1.0).
+        assert times[1] <= 0.5 + 1.0
+
+
+class TestDiscovery:
+    def test_initial_edges_announced(self):
+        sim, graph, tr, nodes = make_net([(0, 1)])
+        tr.announce_initial_edges()
+        sim.run_until(2.0)
+        assert (1.0, 1) in nodes[0].added
+        assert (1.0, 0) in nodes[1].added
+
+    def test_add_discovered_by_both_endpoints(self):
+        sim, graph, tr, nodes = make_net([])
+        sim.schedule_at(1.0, lambda: graph.add_edge(2, 3, sim.now))
+        sim.run_until(5.0)
+        assert (2.0, 3) in nodes[2].added
+        assert (2.0, 2) in nodes[3].added
+
+    def test_remove_discovered_by_both_endpoints(self):
+        sim, graph, tr, nodes = make_net([(1, 2)])
+        sim.schedule_at(1.0, lambda: graph.remove_edge(1, 2, sim.now))
+        sim.run_until(5.0)
+        assert (2.0, 2) in nodes[1].removed
+        assert (2.0, 1) in nodes[2].removed
+
+    def test_transient_change_skipped(self):
+        """An add reversed before its discovery latency may go unnoticed."""
+        sim, graph, tr, nodes = make_net([])
+        sim.schedule_at(1.0, lambda: graph.add_edge(0, 1, sim.now))
+        sim.schedule_at(1.5, lambda: graph.remove_edge(0, 1, sim.now))
+        sim.run_until(5.0)
+        # The add's discovery (due t=2.0) sees the edge gone -> skipped.
+        assert nodes[0].added == []
+        # The remove's discovery (due t=2.5) sees edge absent -> delivered.
+        assert any(other == 1 for _, other in nodes[0].removed)
+        assert tr.stats.discoveries_skipped >= 2
+
+    def test_latency_bound_enforced(self):
+        sim = Simulator()
+        graph = DynamicGraph(range(2), [])
+        tr = Transport(
+            sim,
+            graph,
+            delay_policy=ConstantDelay(0.1),
+            discovery_policy=ConstantDiscovery(5.0),  # exceeds bound 2.0
+            max_delay=1.0,
+            discovery_bound=2.0,
+        )
+        tr.register_node(0, RecordingNode(sim))
+        tr.register_node(1, RecordingNode(sim))
+        with pytest.raises(ValueError, match="latency"):
+            graph.add_edge(0, 1, 0.0)
+
+    def test_absence_discovery_deduplicated(self):
+        sim, graph, tr, nodes = make_net([])
+        tr.send(0, 1, "a")
+        tr.send(0, 1, "b")
+        tr.send(0, 1, "c")
+        sim.run_until(3.0)
+        # Three failed sends produce one discover_remove.
+        assert len(nodes[0].removed) == 1
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=5.0), min_size=1, max_size=30))
+def test_property_fifo_under_arbitrary_send_times(send_offsets):
+    """Messages on one directed link always arrive in send order."""
+    sim = Simulator()
+    graph = DynamicGraph(range(2), [(0, 1)])
+    rng = np.random.default_rng(3)
+    tr = Transport(
+        sim,
+        graph,
+        delay_policy=UniformDelay(0.0, 1.0, rng),
+        discovery_policy=ConstantDiscovery(1.0),
+        max_delay=1.0,
+        discovery_bound=2.0,
+    )
+    sink = RecordingNode(sim)
+    tr.register_node(1, sink)
+    tr.register_node(0, RecordingNode(sim))
+    t = 0.0
+    for i, off in enumerate(sorted(send_offsets)):
+        t = max(t, off)
+        sim.schedule_at(t, lambda i=i: tr.send(0, 1, i))
+    sim.run_until(20.0)
+    seq = [m[2] for m in sink.messages]
+    assert seq == sorted(seq)
+    assert len(seq) == len(send_offsets)
