@@ -1,6 +1,14 @@
 """Experiment harness: declarative configs and a one-call runner."""
 
-from . import configs
+from . import configs, registry
+from .registry import (
+    CHURN_BUILDERS,
+    CLOCK_BUILDERS,
+    DELAY_BUILDERS,
+    DISCOVERY_BUILDERS,
+    ChurnRef,
+    SerializationError,
+)
 from .runner import (
     ALGORITHMS,
     Experiment,
@@ -12,10 +20,17 @@ from .runner import (
 
 __all__ = [
     "ALGORITHMS",
+    "CHURN_BUILDERS",
+    "CLOCK_BUILDERS",
+    "DELAY_BUILDERS",
+    "DISCOVERY_BUILDERS",
+    "ChurnRef",
     "Experiment",
     "ExperimentConfig",
     "RunResult",
+    "SerializationError",
     "build_experiment",
     "configs",
+    "registry",
     "run_experiment",
 ]

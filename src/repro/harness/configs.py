@@ -11,13 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..network.churn import (
-    EdgeFlapper,
-    MobileGeometricChurn,
-    RandomRewirer,
-    RotatingBackboneChurn,
-    ScriptedChurn,
-)
+from ..network.churn import ScriptedChurn
 from ..network.topology import (
     grid_edges,
     path_edges,
@@ -26,9 +20,11 @@ from ..network.topology import (
     two_chain_edges,
 )
 from ..params import SystemParams
+from .registry import ChurnRef
 from .runner import ExperimentConfig
 
 __all__ = [
+    "WORKLOADS",
     "static_path",
     "static_ring",
     "static_grid",
@@ -121,18 +117,22 @@ def backbone_churn(
 ) -> ExperimentConfig:
     """Stable path backbone + arbitrary random rewiring of extra edges."""
     backbone = path_edges(n)
-
-    def build(params: SystemParams, rng: np.random.Generator) -> RandomRewirer:
-        return RandomRewirer(
-            n, k_extra, rewire_interval, rng, protected=backbone, horizon=horizon
-        )
-
+    churn = ChurnRef(
+        "random_rewirer",
+        {
+            "n": n,
+            "k_extra": k_extra,
+            "interval": rewire_interval,
+            "protected": backbone,
+            "horizon": horizon,
+        },
+    )
     return ExperimentConfig(
         params=_params(n, b0),
         initial_edges=backbone,
         algorithm=algorithm,
         clock_spec=clock_spec,
-        churn=[build],
+        churn=[churn],
         horizon=horizon,
         seed=seed,
         name=f"backbone_churn(n={n}, {algorithm})",
@@ -162,15 +162,15 @@ def rotating_backbone(
         ov = 1.2 * (params.max_delay + params.discovery_bound)
     if ov >= window:
         raise ValueError("window must exceed the overlap")
-
-    def build(p: SystemParams, rng: np.random.Generator) -> RotatingBackboneChurn:
-        return RotatingBackboneChurn(n, window, ov, rng, horizon=horizon)
-
+    churn = ChurnRef(
+        "rotating_backbone",
+        {"n": n, "window": window, "overlap": ov, "horizon": horizon},
+    )
     return ExperimentConfig(
         params=params,
         initial_edges=[],
         algorithm=algorithm,
-        churn=[build],
+        churn=[churn],
         horizon=horizon,
         seed=seed,
         name=f"rotating_backbone(n={n}, window={window}, {algorithm})",
@@ -199,23 +199,22 @@ def mobile_network(
     edges, pos = random_geometric(n, radius, seed_rng)
     backbone = path_edges(n) if keep_backbone else []
     initial = sorted(set(edges) | set(backbone))
-
-    def build(p: SystemParams, rng: np.random.Generator) -> MobileGeometricChurn:
-        return MobileGeometricChurn(
-            pos,
-            radius,
-            speed,
-            update_interval,
-            rng,
-            protected=backbone,
-            horizon=horizon,
-        )
-
+    churn = ChurnRef(
+        "mobile_geometric",
+        {
+            "positions": pos,
+            "radius": radius,
+            "speed": speed,
+            "update_interval": update_interval,
+            "protected": backbone,
+            "horizon": horizon,
+        },
+    )
     return ExperimentConfig(
         params=params,
         initial_edges=initial,
         algorithm=algorithm,
-        churn=[build],
+        churn=[churn],
         horizon=horizon,
         seed=seed,
         name=f"mobile(n={n}, {algorithm})",
@@ -290,14 +289,15 @@ def flapping_edges(
         if e not in flap:
             flap.append(e)
 
-    def build(p: SystemParams, churn_rng: np.random.Generator) -> EdgeFlapper:
-        return EdgeFlapper(flap, up, down, churn_rng, horizon=horizon)
-
+    churn = ChurnRef(
+        "edge_flapper",
+        {"edges": flap, "up": up, "down": down, "horizon": horizon},
+    )
     return ExperimentConfig(
         params=params,
         initial_edges=path_edges(n),
         algorithm=algorithm,
-        churn=[build],
+        churn=[churn],
         horizon=horizon,
         seed=seed,
         name=f"flapping(n={n}, {algorithm})",
@@ -340,3 +340,18 @@ def two_chain_insertion(
         seed=seed,
         name=f"two_chain(n={n}, {algorithm})",
     )
+
+
+#: Named workload registry: the single place sweeps and the CLI resolve
+#: workload names.  Every factory above registers itself here.
+WORKLOADS = {
+    "static_path": static_path,
+    "static_ring": static_ring,
+    "static_grid": static_grid,
+    "backbone_churn": backbone_churn,
+    "rotating_backbone": rotating_backbone,
+    "mobile_network": mobile_network,
+    "edge_insertion": edge_insertion,
+    "flapping_edges": flapping_edges,
+    "two_chain_insertion": two_chain_insertion,
+}

@@ -1,0 +1,264 @@
+"""Named builder registries for serializable experiment specs.
+
+:class:`~repro.harness.runner.ExperimentConfig` must round-trip through a
+plain JSON-safe dict so sweeps can be hashed, cached and shipped to worker
+processes (see :mod:`repro.sweep`).  Raw callables cannot survive that trip,
+so every callable ingredient of a config gets a *name* in one of the
+registries below and is referenced by that name instead:
+
+* :data:`CLOCK_BUILDERS` / :data:`DELAY_BUILDERS` / :data:`DISCOVERY_BUILDERS`
+  extend the built-in string specs of :mod:`repro.harness.runner` -- an
+  unknown spec string is looked up here before being rejected;
+* :data:`CHURN_BUILDERS` holds factories ``(params, rng, **kwargs) ->
+  ChurnProcess``; configs reference them through :class:`ChurnRef`, a
+  frozen, JSON-safe ``(name, kwargs)`` pair that *is itself* a valid churn
+  builder callable.
+
+Register with the decorators::
+
+    @register_churn("my_churn")
+    def _build(params, rng, *, k: int) -> ChurnProcess: ...
+
+    cfg = ExperimentConfig(..., churn=[ChurnRef("my_churn", {"k": 3})])
+
+``ChurnRef`` kwargs are canonicalised at construction (tuples -> lists,
+numpy scalars/arrays -> python numbers / nested lists) so that
+``to_dict``/``from_dict`` round-trips are exact and hashing is stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, TypeVar
+
+import numpy as np
+
+from ..network.churn import ChurnProcess
+from ..params import SystemParams
+
+__all__ = [
+    "CHURN_BUILDERS",
+    "CLOCK_BUILDERS",
+    "DELAY_BUILDERS",
+    "DISCOVERY_BUILDERS",
+    "ChurnRef",
+    "SerializationError",
+    "jsonify",
+    "register_churn",
+    "register_clock",
+    "register_delay",
+    "register_discovery",
+]
+
+
+class SerializationError(TypeError):
+    """Raised when a config ingredient cannot be expressed as JSON data."""
+
+
+# --------------------------------------------------------------------- #
+# JSON canonicalisation
+# --------------------------------------------------------------------- #
+
+
+def jsonify(value: Any, *, _context: str = "value") -> Any:
+    """Return ``value`` converted to canonical JSON-safe python data.
+
+    Tuples become lists, numpy scalars become python numbers, numpy arrays
+    become nested lists, dict keys must be strings.  Anything else that the
+    ``json`` module could not serialise raises :class:`SerializationError`.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return float(value)
+    if isinstance(value, np.generic):
+        return jsonify(value.item(), _context=_context)
+    if isinstance(value, np.ndarray):
+        return jsonify(value.tolist(), _context=_context)
+    if isinstance(value, (list, tuple)):
+        return [jsonify(v, _context=_context) for v in value]
+    if isinstance(value, Mapping):
+        out = {}
+        for k, v in value.items():
+            if not isinstance(k, str):
+                raise SerializationError(
+                    f"{_context}: dict keys must be strings; got {k!r}"
+                )
+            out[k] = jsonify(v, _context=f"{_context}[{k!r}]")
+        return out
+    raise SerializationError(
+        f"{_context}: {type(value).__name__} is not JSON-serializable"
+    )
+
+
+# --------------------------------------------------------------------- #
+# Registries
+# --------------------------------------------------------------------- #
+
+#: Extra named clock specs: name -> (node_id, params, rng, horizon) -> clock.
+CLOCK_BUILDERS: dict[str, Callable[..., Any]] = {}
+#: Extra named delay specs: name -> (params, rng) -> DelayPolicy.
+DELAY_BUILDERS: dict[str, Callable[..., Any]] = {}
+#: Extra named discovery specs: name -> (params, rng) -> DiscoveryPolicy.
+DISCOVERY_BUILDERS: dict[str, Callable[..., Any]] = {}
+#: Churn factories: name -> (params, rng, **kwargs) -> ChurnProcess.
+CHURN_BUILDERS: dict[str, Callable[..., ChurnProcess]] = {}
+
+_F = TypeVar("_F", bound=Callable[..., Any])
+
+
+def _register(registry: dict[str, Callable[..., Any]], kind: str, name: str):
+    def deco(fn: _F) -> _F:
+        if name in registry:
+            raise ValueError(f"{kind} builder {name!r} already registered")
+        registry[name] = fn
+        return fn
+
+    return deco
+
+
+def register_clock(name: str):
+    """Register a named clock builder usable as a ``clock_spec`` string."""
+    return _register(CLOCK_BUILDERS, "clock", name)
+
+
+def register_delay(name: str):
+    """Register a named delay builder usable as a ``delay_spec`` string."""
+    return _register(DELAY_BUILDERS, "delay", name)
+
+
+def register_discovery(name: str):
+    """Register a named discovery builder usable as a ``discovery_spec``."""
+    return _register(DISCOVERY_BUILDERS, "discovery", name)
+
+
+def register_churn(name: str):
+    """Register a named churn factory addressable via :class:`ChurnRef`."""
+    return _register(CHURN_BUILDERS, "churn", name)
+
+
+# --------------------------------------------------------------------- #
+# ChurnRef
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class ChurnRef:
+    """A serializable reference to a registered churn builder.
+
+    Behaves like a churn builder callable ``(params, rng) -> ChurnProcess``
+    so it slots directly into ``ExperimentConfig.churn``, while also
+    round-tripping through :meth:`to_dict`/:meth:`from_dict` for hashing and
+    multiprocessing.
+    """
+
+    name: str
+    kwargs: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.name not in CHURN_BUILDERS:
+            raise KeyError(
+                f"unknown churn builder {self.name!r}; registered: "
+                f"{sorted(CHURN_BUILDERS)}"
+            )
+        object.__setattr__(
+            self, "kwargs", jsonify(self.kwargs, _context=f"ChurnRef({self.name!r})")
+        )
+
+    def __call__(
+        self, params: SystemParams, rng: np.random.Generator
+    ) -> ChurnProcess:
+        return CHURN_BUILDERS[self.name](params, rng, **self.kwargs)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data form: ``{"kind": "ref", "name": ..., "kwargs": ...}``."""
+        return {"kind": "ref", "name": self.name, "kwargs": self.kwargs}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ChurnRef":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(name=data["name"], kwargs=dict(data.get("kwargs", {})))
+
+
+# --------------------------------------------------------------------- #
+# Built-in churn builders
+# --------------------------------------------------------------------- #
+#
+# One registered factory per churn class whose canned-config use needs a
+# per-run RNG (ScriptedChurn is deterministic and serializes as a concrete
+# instance instead).  Edge lists arrive as JSON ``[[u, v], ...]``; the churn
+# classes normalise entries through ``edge_key(*e)`` so no conversion is
+# needed here.
+
+
+@register_churn("random_rewirer")
+def _build_random_rewirer(
+    params: SystemParams,
+    rng: np.random.Generator,
+    *,
+    n: int,
+    k_extra: int,
+    interval: float,
+    protected: list[list[int]] = (),
+    horizon: float | None = None,
+) -> ChurnProcess:
+    from ..network.churn import RandomRewirer
+
+    return RandomRewirer(
+        n, k_extra, interval, rng, protected=protected, horizon=horizon
+    )
+
+
+@register_churn("edge_flapper")
+def _build_edge_flapper(
+    params: SystemParams,
+    rng: np.random.Generator,
+    *,
+    edges: list[list[int]],
+    up: float,
+    down: float,
+    horizon: float | None = None,
+) -> ChurnProcess:
+    from ..network.churn import EdgeFlapper
+
+    return EdgeFlapper(edges, up, down, rng, horizon=horizon)
+
+
+@register_churn("mobile_geometric")
+def _build_mobile_geometric(
+    params: SystemParams,
+    rng: np.random.Generator,
+    *,
+    positions: list[list[float]],
+    radius: float,
+    speed: float,
+    update_interval: float,
+    protected: list[list[int]] = (),
+    horizon: float | None = None,
+) -> ChurnProcess:
+    from ..network.churn import MobileGeometricChurn
+
+    return MobileGeometricChurn(
+        np.asarray(positions, dtype=float),
+        radius,
+        speed,
+        update_interval,
+        rng,
+        protected=protected,
+        horizon=horizon,
+    )
+
+
+@register_churn("rotating_backbone")
+def _build_rotating_backbone(
+    params: SystemParams,
+    rng: np.random.Generator,
+    *,
+    n: int,
+    window: float,
+    overlap: float,
+    horizon: float,
+) -> ChurnProcess:
+    from ..network.churn import RotatingBackboneChurn
+
+    return RotatingBackboneChurn(n, window, overlap, rng, horizon=horizon)

@@ -14,8 +14,8 @@ at ``t = 0``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from dataclasses import dataclass, field, fields
+from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
 
@@ -25,7 +25,7 @@ from ..baselines import FreeRunningNode, MaxSyncNode, StaticGradientNode
 from ..core.dcsa import DCSANode
 from ..core.node import ClockSyncNode
 from ..network.channels import ConstantDelay, DelayPolicy, UniformDelay
-from ..network.churn import ChurnProcess
+from ..network.churn import ChurnProcess, ScriptedChurn
 from ..network.discovery import ConstantDiscovery, DiscoveryPolicy, UniformDiscovery
 from ..network.graph import DynamicGraph
 from ..network.transport import Transport
@@ -40,6 +40,14 @@ from ..sim.clocks import (
 from ..sim.rng import RngFactory
 from ..sim.simulator import Simulator
 from ..sim.tracing import TraceRecorder
+from .registry import (
+    CLOCK_BUILDERS,
+    DELAY_BUILDERS,
+    DISCOVERY_BUILDERS,
+    ChurnRef,
+    SerializationError,
+    jsonify,
+)
 
 __all__ = [
     "ALGORITHMS",
@@ -125,6 +133,90 @@ class ExperimentConfig:
     trace: bool = False
     name: str = ""
 
+    # ------------------------------------------------------------------ #
+    # Serialization (see repro.harness.registry for the callable story)
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> dict[str, Any]:
+        """Return a JSON-safe dict that round-trips via :meth:`from_dict`.
+
+        The dict is the config's *identity* for content-addressed caching
+        (:mod:`repro.sweep.store`), so every ingredient must be plain data:
+        spec strings stay strings, churn entries must be
+        :class:`~repro.harness.registry.ChurnRef` or
+        :class:`~repro.network.churn.ScriptedChurn`.  Raw callables raise
+        :class:`~repro.harness.registry.SerializationError` pointing at the
+        registry to use instead.
+        """
+        churn_entries: list[dict[str, Any]] = []
+        for proc in self.churn:
+            if isinstance(proc, ChurnRef):
+                churn_entries.append(proc.to_dict())
+            elif isinstance(proc, ScriptedChurn):
+                churn_entries.append(
+                    {"kind": "scripted", "events": jsonify(proc.events)}
+                )
+            else:
+                what = (
+                    f"churn process {type(proc).__name__}"
+                    if isinstance(proc, ChurnProcess)
+                    else f"churn builder callable {getattr(proc, '__name__', proc)!r}"
+                )
+                raise SerializationError(
+                    f"cannot serialize {what}; register a factory in "
+                    "repro.harness.registry.CHURN_BUILDERS (via "
+                    "@register_churn(name)) and reference it as "
+                    "ChurnRef(name, kwargs). ScriptedChurn and ChurnRef "
+                    "entries serialize directly."
+                )
+        return {
+            "params": self.params.to_dict(),
+            "initial_edges": [[int(u), int(v)] for u, v in self.initial_edges],
+            "algorithm": self.algorithm,
+            "clock_spec": _spec_name(self.clock_spec, "clock_spec", "CLOCK_BUILDERS"),
+            "delay_spec": _spec_name(self.delay_spec, "delay_spec", "DELAY_BUILDERS"),
+            "discovery_spec": _spec_name(
+                self.discovery_spec, "discovery_spec", "DISCOVERY_BUILDERS"
+            ),
+            "churn": churn_entries,
+            "horizon": float(self.horizon),
+            "sample_interval": float(self.sample_interval),
+            "seed": int(self.seed),
+            "track_edges": bool(self.track_edges),
+            "track_max_estimates": bool(self.track_max_estimates),
+            "stagger_ticks": bool(self.stagger_ticks),
+            "trace": bool(self.trace),
+            "name": self.name,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentConfig":
+        """Rebuild a config from :meth:`to_dict` output."""
+        data = dict(data)
+        params = SystemParams.from_dict(data.pop("params"))
+        initial_edges = [(int(u), int(v)) for u, v in data.pop("initial_edges")]
+        churn: list[ChurnProcess | ChurnBuilder] = []
+        for entry in data.pop("churn", []):
+            kind = entry.get("kind")
+            if kind == "ref":
+                churn.append(ChurnRef.from_dict(entry))
+            elif kind == "scripted":
+                churn.append(
+                    ScriptedChurn(
+                        [
+                            (float(t), str(op), int(u), int(v))
+                            for t, op, u, v in entry["events"]
+                        ]
+                    )
+                )
+            else:
+                raise ValueError(f"unknown churn entry kind {kind!r}")
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown ExperimentConfig fields: {unknown}")
+        return cls(params=params, initial_edges=initial_edges, churn=churn, **data)
+
 
 @dataclass
 class RunResult:
@@ -181,6 +273,16 @@ class RunResult:
 # ---------------------------------------------------------------------- #
 
 
+def _spec_name(spec: Any, field_name: str, registry_name: str) -> str:
+    if isinstance(spec, str):
+        return spec
+    raise SerializationError(
+        f"{field_name} callables cannot be serialized; use a built-in spec "
+        f"string or register the builder under a name in "
+        f"repro.harness.registry.{registry_name} and pass that name instead"
+    )
+
+
 def _make_clock(
     spec: ClockSpec,
     node_id: int,
@@ -204,6 +306,8 @@ def _make_clock(
         from ..sim.clocks import ConstantRateClock
 
         return ConstantRateClock(1.0 + rho * float(rng.uniform(-1.0, 1.0)))
+    if spec in CLOCK_BUILDERS:
+        return CLOCK_BUILDERS[spec](node_id, params, rng, horizon)
     raise ValueError(f"unknown clock spec {spec!r}")
 
 
@@ -220,6 +324,8 @@ def _make_delay(
         return ConstantDelay(0.5 * params.max_delay)
     if spec == "zero":
         return ConstantDelay(0.0)
+    if spec in DELAY_BUILDERS:
+        return DELAY_BUILDERS[spec](params, rng)
     raise ValueError(f"unknown delay spec {spec!r}")
 
 
@@ -234,6 +340,8 @@ def _make_discovery(
         return ConstantDiscovery(params.discovery_bound)
     if spec == "zero":
         return ConstantDiscovery(0.0)
+    if spec in DISCOVERY_BUILDERS:
+        return DISCOVERY_BUILDERS[spec](params, rng)
     raise ValueError(f"unknown discovery spec {spec!r}")
 
 

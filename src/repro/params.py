@@ -43,8 +43,8 @@ trade-off of Corollary 6.14, lower-bound predictions) lives in
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, replace
-from typing import Any
+from dataclasses import dataclass, fields, replace
+from typing import Any, Mapping
 
 __all__ = [
     "ParameterError",
@@ -308,6 +308,37 @@ class SystemParams:
         settling time is at most ``b_settle_subjective / (1 - rho)``.
         """
         return self.b_settle_subjective / (1.0 - self.rho)
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> dict[str, Any]:
+        """Return the raw (non-derived) fields as a JSON-safe dict.
+
+        Round-trips exactly through :meth:`from_dict`; derived quantities
+        are recomputed on the way back, so the dict is a stable identity
+        for hashing (see :mod:`repro.sweep.store`).
+        """
+        return {
+            "n": int(self.n),
+            "rho": float(self.rho),
+            "max_delay": float(self.max_delay),
+            "discovery_bound": float(self.discovery_bound),
+            "tick_interval": float(self.tick_interval),
+            "b0": float(self.b0),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SystemParams":
+        """Rebuild a validated instance from :meth:`to_dict` output."""
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ParameterError(f"unknown SystemParams fields: {unknown}")
+        params = cls(**dict(data))
+        params.validate()
+        return params
 
     # ------------------------------------------------------------------ #
     # Misc

@@ -1,0 +1,144 @@
+"""Round-trip serialization of SystemParams / ExperimentConfig.
+
+These dicts are the identity used by the content-addressed result store
+(:mod:`repro.sweep.store`), so the round-trip must be *exact*: rebuild from
+``to_dict`` output, serialize again, and get the same dict — through a real
+``json`` encode/decode, not just in memory.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import ParameterError, SystemParams
+from repro.harness import ChurnRef, ExperimentConfig, SerializationError, configs
+from repro.harness.registry import jsonify
+from repro.network.churn import RandomRewirer, ScriptedChurn
+from repro.network.topology import path_edges
+
+
+def roundtrip(cfg: ExperimentConfig) -> ExperimentConfig:
+    wire = json.loads(json.dumps(cfg.to_dict()))
+    return ExperimentConfig.from_dict(wire)
+
+
+class TestSystemParams:
+    def test_roundtrip_exact(self):
+        p = SystemParams.for_network(12, rho=0.03)
+        d = p.to_dict()
+        q = SystemParams.from_dict(json.loads(json.dumps(d)))
+        assert q == p
+        assert q.to_dict() == d
+
+    def test_from_dict_validates(self):
+        d = SystemParams.for_network(8).to_dict()
+        d["rho"] = 0.9
+        with pytest.raises(ParameterError, match="rho"):
+            SystemParams.from_dict(d)
+
+    def test_unknown_field_rejected(self):
+        d = SystemParams.for_network(8).to_dict()
+        d["bogus"] = 1
+        with pytest.raises(ParameterError, match="bogus"):
+            SystemParams.from_dict(d)
+
+
+CANNED = [
+    ("static_path", lambda: configs.static_path(8, horizon=20.0)),
+    ("static_ring", lambda: configs.static_ring(8, horizon=20.0)),
+    ("static_grid", lambda: configs.static_grid(2, 4, horizon=20.0)),
+    ("backbone_churn", lambda: configs.backbone_churn(8, horizon=20.0)),
+    ("rotating_backbone", lambda: configs.rotating_backbone(8, horizon=50.0, window=12.0)),
+    ("mobile_network", lambda: configs.mobile_network(8, horizon=20.0)),
+    ("edge_insertion", lambda: configs.edge_insertion(8, t_insert=10.0, horizon=30.0)),
+    ("flapping_edges", lambda: configs.flapping_edges(8, horizon=20.0)),
+    ("two_chain_insertion", lambda: configs.two_chain_insertion(10, t_insert=10.0, horizon=30.0)),
+]
+
+
+class TestExperimentConfig:
+    @pytest.mark.parametrize("name,make", CANNED, ids=[c[0] for c in CANNED])
+    def test_all_canned_configs_roundtrip(self, name, make):
+        cfg = make()
+        d = cfg.to_dict()
+        cfg2 = roundtrip(cfg)
+        assert cfg2.to_dict() == d
+
+    def test_scripted_churn_roundtrips(self):
+        cfg = ExperimentConfig(
+            params=SystemParams.for_network(4),
+            initial_edges=path_edges(4),
+            churn=[ScriptedChurn([(5.0, "add", 0, 3), (9.0, "remove", 0, 3)])],
+            horizon=12.0,
+        )
+        cfg2 = roundtrip(cfg)
+        (proc,) = cfg2.churn
+        assert isinstance(proc, ScriptedChurn)
+        assert proc.events == [(5.0, "add", 0, 3), (9.0, "remove", 0, 3)]
+
+    def test_callable_clock_spec_rejected_with_registry_hint(self):
+        cfg = configs.static_path(4)
+        cfg.clock_spec = lambda i, p, rng, h: None
+        with pytest.raises(SerializationError, match="CLOCK_BUILDERS"):
+            cfg.to_dict()
+
+    def test_callable_delay_and_discovery_specs_rejected(self):
+        cfg = configs.static_path(4)
+        cfg.delay_spec = lambda p, rng: None
+        with pytest.raises(SerializationError, match="DELAY_BUILDERS"):
+            cfg.to_dict()
+        cfg = configs.static_path(4)
+        cfg.discovery_spec = lambda p, rng: None
+        with pytest.raises(SerializationError, match="DISCOVERY_BUILDERS"):
+            cfg.to_dict()
+
+    def test_bare_churn_callable_rejected_with_registry_hint(self):
+        cfg = configs.static_path(4)
+        cfg.churn = [lambda p, rng: ScriptedChurn([])]
+        with pytest.raises(SerializationError, match="CHURN_BUILDERS"):
+            cfg.to_dict()
+
+    def test_concrete_churn_instance_rejected_with_registry_hint(self):
+        import numpy as np
+
+        cfg = configs.static_path(4)
+        cfg.churn = [RandomRewirer(4, 1, 5.0, np.random.default_rng(0))]
+        with pytest.raises(SerializationError, match="register_churn"):
+            cfg.to_dict()
+
+    def test_unknown_field_rejected(self):
+        d = configs.static_path(4).to_dict()
+        d["bogus"] = True
+        with pytest.raises(ValueError, match="bogus"):
+            ExperimentConfig.from_dict(d)
+
+    def test_unknown_churn_kind_rejected(self):
+        d = configs.static_path(4).to_dict()
+        d["churn"] = [{"kind": "mystery"}]
+        with pytest.raises(ValueError, match="mystery"):
+            ExperimentConfig.from_dict(d)
+
+
+class TestChurnRef:
+    def test_unknown_name_rejected_eagerly(self):
+        with pytest.raises(KeyError, match="no_such_churn"):
+            ChurnRef("no_such_churn", {})
+
+    def test_kwargs_canonicalised(self):
+        ref = ChurnRef("edge_flapper", {"edges": [(0, 2)], "up": 3, "down": 2.0})
+        assert ref.kwargs["edges"] == [[0, 2]]
+        assert ref.to_dict() == json.loads(json.dumps(ref.to_dict()))
+
+    def test_ref_is_a_working_builder(self, params8, rng):
+        ref = ChurnRef(
+            "random_rewirer",
+            {"n": 8, "k_extra": 2, "interval": 5.0, "protected": path_edges(8)},
+        )
+        proc = ref(params8, rng)
+        assert isinstance(proc, RandomRewirer)
+
+    def test_jsonify_rejects_opaque_objects(self):
+        with pytest.raises(SerializationError, match="object"):
+            jsonify({"x": object()})
