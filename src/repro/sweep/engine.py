@@ -1,0 +1,301 @@
+"""Sweep execution across processes with transparent result caching.
+
+:class:`SweepEngine` takes a :class:`~repro.sweep.spec.SweepSpec` (or a
+plain list of configs), consults its :class:`~repro.sweep.store.ResultStore`
+for already-computed points, and executes the misses either serially or on a
+``ProcessPoolExecutor`` -- through the *same* worker function, so the two
+backends are bit-identical.  Each task re-derives its random streams from
+the config's own seed (:class:`~repro.sim.rng.RngFactory`), so results do
+not depend on scheduling order or worker count.
+
+Results come back as a :class:`SweepResult`: one :class:`SweepRow` per
+config, *in expansion order*, each carrying the summary-metrics dict that
+was (or now is) in the store.  Only deterministic scalars go into metrics;
+wall-clock time lives on the row (``elapsed``) and is never cached, which is
+what makes serial/parallel parity checkable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from ..analysis.metrics import envelope_violations, stable_local_skew_measured
+from ..core import skew_bounds
+from ..harness.runner import ExperimentConfig, RunResult, run_experiment
+from .spec import SweepSpec
+from .store import ResultStore, config_hash
+
+__all__ = ["SweepEngine", "SweepResult", "SweepRow", "summarize_run"]
+
+#: Progress callback: ``(done, total, row)`` after each resolved point.
+ProgressFn = Callable[[int, int, "SweepRow"], None]
+
+
+# --------------------------------------------------------------------- #
+# Metric extraction (runs inside workers)
+# --------------------------------------------------------------------- #
+
+
+def summarize_run(result: RunResult) -> dict[str, Any]:
+    """Reduce a :class:`RunResult` to the flat, deterministic metrics dict
+    stored per config.
+
+    Everything here is a pure function of the simulation, so identical
+    configs produce identical dicts on any backend; edge-level metrics are
+    ``None`` when the run did not track edges.
+    """
+    params = result.params
+    metrics: dict[str, Any] = {
+        "max_global_skew": result.max_global_skew,
+        "global_skew_bound": skew_bounds.global_skew_bound(params),
+        "stable_local_skew_bound": skew_bounds.stable_local_skew(params),
+        "events_dispatched": result.events_dispatched,
+        "messages_sent": result.transport_stats.get("sent", 0),
+        "messages_delivered": result.transport_stats.get("delivered", 0),
+        "jumps": result.total_jumps(),
+    }
+    if result.config.track_edges:
+        check = envelope_violations(result.record, params)
+        metrics.update(
+            max_local_skew=result.max_local_skew,
+            stable_local_skew=stable_local_skew_measured(result.record, params),
+            envelope_samples=check.samples_checked,
+            envelope_violations=check.violations,
+            envelope_worst_ratio=check.worst_ratio,
+            envelope_compliant=check.compliant,
+        )
+    else:
+        metrics.update(
+            max_local_skew=None,
+            stable_local_skew=None,
+            envelope_samples=None,
+            envelope_violations=None,
+            envelope_worst_ratio=None,
+            envelope_compliant=None,
+        )
+    return metrics
+
+
+def _execute(config_dict: Mapping[str, Any]) -> dict[str, Any]:
+    """Worker entry point: config dict in, ``{"metrics", "elapsed"}`` out.
+
+    Module-level so it pickles for the process pool; the serial backend
+    calls the very same function.
+    """
+    cfg = ExperimentConfig.from_dict(config_dict)
+    t0 = time.perf_counter()
+    result = run_experiment(cfg)
+    elapsed = time.perf_counter() - t0
+    return {"metrics": summarize_run(result), "elapsed": elapsed}
+
+
+# --------------------------------------------------------------------- #
+# Result containers
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """One resolved sweep point.
+
+    ``cached`` means the point was *not* simulated for this row: it was
+    served from the store, or deduplicated against an identical config
+    executed earlier in the same sweep.
+    """
+
+    index: int
+    name: str
+    key: str
+    config: dict[str, Any]
+    metrics: dict[str, Any]
+    cached: bool
+    elapsed: float | None = None
+
+
+@dataclass
+class SweepResult:
+    """Ordered collection of resolved sweep points."""
+
+    rows: list[SweepRow] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __getitem__(self, i: int) -> SweepRow:
+        return self.rows[i]
+
+    @property
+    def cached_count(self) -> int:
+        """Points not simulated: store hits plus within-sweep duplicates."""
+        return sum(1 for r in self.rows if r.cached)
+
+    @property
+    def executed_count(self) -> int:
+        """How many points were actually simulated."""
+        return sum(1 for r in self.rows if not r.cached)
+
+    def metric(self, name: str) -> list[Any]:
+        """One metric across all rows, in expansion order."""
+        return [r.metrics.get(name) for r in self.rows]
+
+
+# --------------------------------------------------------------------- #
+# Engine
+# --------------------------------------------------------------------- #
+
+
+def _pool_context():
+    # fork keeps sys.path (and thus the repro import) without requiring an
+    # installed package; fall back to the platform default elsewhere.
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-fork platforms
+        return multiprocessing.get_context()
+
+
+class SweepEngine:
+    """Executes sweeps with caching and an optional process pool.
+
+    Parameters
+    ----------
+    processes:
+        ``None`` or ``<= 1`` runs every miss serially in-process; ``k > 1``
+        fans misses out over ``k`` worker processes.  Results are identical
+        either way.
+    store:
+        A :class:`~repro.sweep.store.ResultStore` for transparent caching,
+        or ``None`` to always execute.
+    progress:
+        Optional ``(done, total, row)`` callback, invoked once per point as
+        it resolves (cache hits first, then executions as they finish).
+    """
+
+    def __init__(
+        self,
+        *,
+        processes: int | None = None,
+        store: ResultStore | None = None,
+        progress: ProgressFn | None = None,
+    ) -> None:
+        if processes is not None and processes < 0:
+            raise ValueError(f"processes must be >= 0; got {processes}")
+        self.processes = processes
+        self.store = store
+        self.progress = progress
+
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        sweep: SweepSpec | Sequence[ExperimentConfig],
+        *,
+        reuse_cache: bool = True,
+    ) -> SweepResult:
+        """Resolve every point of ``sweep`` and return ordered rows.
+
+        ``reuse_cache=False`` forces re-execution (results still get stored).
+        """
+        configs = sweep.expand() if isinstance(sweep, SweepSpec) else list(sweep)
+        config_dicts = [cfg.to_dict() for cfg in configs]
+        keys = [config_hash(d) for d in config_dicts]
+        total = len(configs)
+        rows: list[SweepRow | None] = [None] * total
+        done = 0
+
+        def resolve(i: int, metrics: dict, cached: bool, elapsed: float | None) -> None:
+            nonlocal done
+            rows[i] = SweepRow(
+                index=i,
+                name=config_dicts[i]["name"] or config_dicts[i]["algorithm"],
+                key=keys[i],
+                config=config_dicts[i],
+                metrics=metrics,
+                cached=cached,
+                elapsed=elapsed,
+            )
+            done += 1
+            if self.progress is not None:
+                self.progress(done, total, rows[i])
+
+        # Cache pass.
+        pending: dict[str, list[int]] = {}
+        for i, key in enumerate(keys):
+            entry = (
+                self.store.get(key)
+                if (self.store is not None and reuse_cache)
+                else None
+            )
+            if entry is not None:
+                resolve(i, dict(entry["metrics"]), cached=True, elapsed=None)
+            else:
+                # Identical configs share one execution.
+                pending.setdefault(key, []).append(i)
+
+        # Execution pass.
+        if pending:
+            order = sorted(pending.values(), key=lambda idxs: idxs[0])
+            if self.processes is not None and self.processes > 1:
+                self._run_pool(order, config_dicts, keys, resolve)
+            else:
+                self._run_serial(order, config_dicts, keys, resolve)
+
+        assert all(r is not None for r in rows)
+        return SweepResult(rows=list(rows))  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------ #
+
+    def _finish(
+        self,
+        idxs: list[int],
+        outcome: dict[str, Any],
+        config_dicts: list[dict],
+        keys: list[str],
+        resolve: Callable[[int, dict, bool, float | None], None],
+    ) -> None:
+        first = idxs[0]
+        if self.store is not None:
+            self.store.put(keys[first], config_dicts[first], outcome["metrics"])
+        for i in idxs:
+            resolve(i, dict(outcome["metrics"]), cached=i != first,
+                    elapsed=outcome["elapsed"] if i == first else None)
+
+    def _run_serial(self, order, config_dicts, keys, resolve) -> None:
+        for idxs in order:
+            outcome = self._execute_checked(config_dicts[idxs[0]])
+            self._finish(idxs, outcome, config_dicts, keys, resolve)
+
+    def _run_pool(self, order, config_dicts, keys, resolve) -> None:
+        with ProcessPoolExecutor(
+            max_workers=self.processes, mp_context=_pool_context()
+        ) as pool:
+            futures = {
+                pool.submit(_execute, config_dicts[idxs[0]]): idxs for idxs in order
+            }
+            remaining = set(futures)
+            while remaining:
+                finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for fut in finished:
+                    idxs = futures[fut]
+                    try:
+                        outcome = fut.result()
+                    except Exception as exc:
+                        name = config_dicts[idxs[0]].get("name") or idxs[0]
+                        raise RuntimeError(
+                            f"sweep point {name!r} failed: {exc}"
+                        ) from exc
+                    self._finish(idxs, outcome, config_dicts, keys, resolve)
+
+    @staticmethod
+    def _execute_checked(config_dict: dict[str, Any]) -> dict[str, Any]:
+        try:
+            return _execute(config_dict)
+        except Exception as exc:
+            name = config_dict.get("name") or "<unnamed>"
+            raise RuntimeError(f"sweep point {name!r} failed: {exc}") from exc

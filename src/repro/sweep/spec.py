@@ -1,0 +1,253 @@
+"""Declarative sweep specifications.
+
+A :class:`SweepSpec` describes a family of experiments as a *base* plus a
+set of *axes*; :meth:`SweepSpec.expand` turns it into the concrete list of
+:class:`~repro.harness.runner.ExperimentConfig` objects a
+:class:`~repro.sweep.engine.SweepEngine` executes.
+
+Two base flavours are supported:
+
+* a **workload name** from :data:`repro.harness.configs.WORKLOADS`
+  (``"static_path"``, ``"backbone_churn"``, ...): every expanded point calls
+  the factory with the merged keyword arguments, so axes can range over
+  *anything* the factory accepts (``n``, ``seed``, ``b0``, ``algorithm``,
+  ``horizon``, ...);
+* a concrete **ExperimentConfig**: axes override config fields via
+  ``dataclasses.replace``; :class:`~repro.params.SystemParams` fields
+  (``b0``, ``rho``, ... -- optionally written ``"params.b0"``) are applied
+  to the nested params object and re-validated.
+
+Axes come from three combinators, composed by cartesian product:
+
+>>> spec = SweepSpec("static_path", base={"horizon": 150.0},
+...                  axes=[grid(n=[8, 16, 32]), seeds(3)])
+>>> len(spec.expand())
+9
+
+:func:`grid` is the cartesian product of its keyword ranges, :func:`zip_`
+advances its ranges in lockstep (they must be equally long), and
+:func:`seeds` is shorthand for a seed axis.  Expansion order is
+deterministic: the last axis varies fastest, exactly like nested loops.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from ..harness.runner import ExperimentConfig
+from ..params import SystemParams
+
+__all__ = ["Axis", "SweepSpec", "grid", "seeds", "zip_"]
+
+
+@dataclass(frozen=True)
+class Axis:
+    """One sweep dimension: an ordered list of keyword-override points."""
+
+    points: tuple[dict[str, Any], ...]
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise ValueError("an axis must contain at least one point")
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+def _as_range(name: str, values: Any) -> list[Any]:
+    if isinstance(values, (str, bytes)) or not isinstance(values, Iterable):
+        raise TypeError(
+            f"axis {name!r} needs an iterable of values; got {values!r} "
+            "(wrap single values in a list, or put them in the base)"
+        )
+    out = list(values)
+    if not out:
+        raise ValueError(f"axis {name!r} has no values")
+    return out
+
+
+def grid(**ranges: Any) -> Axis:
+    """Cartesian product over the given ranges (last key varies fastest)."""
+    if not ranges:
+        raise ValueError("grid() needs at least one keyword range")
+    keys = list(ranges)
+    lists = [_as_range(k, ranges[k]) for k in keys]
+    return Axis(
+        tuple(dict(zip(keys, combo)) for combo in itertools.product(*lists))
+    )
+
+
+def zip_(**ranges: Any) -> Axis:
+    """Lockstep combination: i-th point takes the i-th value of every range."""
+    if not ranges:
+        raise ValueError("zip_() needs at least one keyword range")
+    keys = list(ranges)
+    lists = [_as_range(k, ranges[k]) for k in keys]
+    lengths = {len(v) for v in lists}
+    if len(lengths) != 1:
+        raise ValueError(
+            f"zip_() ranges must be equally long; got lengths "
+            f"{ {k: len(v) for k, v in zip(keys, lists)} }"
+        )
+    return Axis(tuple(dict(zip(keys, combo)) for combo in zip(*lists)))
+
+
+def seeds(spec: int | Iterable[int]) -> Axis:
+    """A seed axis: ``seeds(3)`` -> seeds 0, 1, 2; or pass explicit seeds."""
+    values = list(range(spec)) if isinstance(spec, int) else [int(s) for s in spec]
+    if not values:
+        raise ValueError("seeds() needs at least one seed")
+    return Axis(tuple({"seed": s} for s in values))
+
+
+_PARAM_FIELDS = {f.name for f in fields(SystemParams)}
+_CONFIG_FIELDS = {f.name for f in fields(ExperimentConfig)}
+
+
+def _apply_overrides(cfg: ExperimentConfig, overrides: Mapping[str, Any]) -> ExperimentConfig:
+    """Apply axis overrides to a concrete config (params fields re-validate)."""
+    cfg_updates: dict[str, Any] = {}
+    param_updates: dict[str, Any] = {}
+    for key, value in overrides.items():
+        name = key.removeprefix("params.")
+        if key.startswith("params.") or (
+            name in _PARAM_FIELDS and name not in _CONFIG_FIELDS
+        ):
+            if name not in _PARAM_FIELDS:
+                raise KeyError(f"unknown SystemParams field {name!r}")
+            if name == "n":
+                # initial_edges (and churn kwargs) of a concrete config are
+                # built for its original size; silently resizing params
+                # would run a mismatched topology.
+                raise KeyError(
+                    "cannot sweep 'n' over a concrete ExperimentConfig "
+                    "(its initial_edges/churn were built for the original "
+                    "size); use a named workload base instead"
+                )
+            param_updates[name] = value
+        elif name in _CONFIG_FIELDS:
+            cfg_updates[name] = value
+        else:
+            raise KeyError(
+                f"unknown override {key!r}; not an ExperimentConfig or "
+                "SystemParams field"
+            )
+    if "horizon" in cfg_updates and cfg.churn:
+        # Churn processes bake their own horizon (ChurnRef kwargs, scripted
+        # event times) at construction; overriding only cfg.horizon would
+        # silently run a churn-free tail (or truncate scripted events).
+        raise KeyError(
+            "cannot sweep 'horizon' over a concrete ExperimentConfig with "
+            "churn (the churn processes were built for the original "
+            "horizon); use a named workload base instead"
+        )
+    if param_updates:
+        params = replace(cfg.params, **param_updates)
+        params.validate()
+        cfg_updates["params"] = params
+    return replace(cfg, **cfg_updates)
+
+
+def _point_label(overrides: Mapping[str, Any]) -> str:
+    return ",".join(f"{k}={overrides[k]}" for k in sorted(overrides))
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A base workload plus sweep axes; expands to concrete configs.
+
+    Attributes
+    ----------
+    workload:
+        A name from :data:`repro.harness.configs.WORKLOADS` or a concrete
+        :class:`~repro.harness.runner.ExperimentConfig`.
+    base:
+        Keyword arguments applied at every point (factory kwargs for a
+        named workload, field overrides for a concrete config).
+    axes:
+        Sweep dimensions, combined by cartesian product in order (the last
+        axis varies fastest).  An empty list expands to the single base
+        point.
+    name:
+        Optional sweep label; defaults to the workload name.
+    """
+
+    workload: str | ExperimentConfig
+    base: dict[str, Any] = field(default_factory=dict)
+    axes: Sequence[Axis] = ()
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if isinstance(self.workload, str):
+            factory = self._factories().get(self.workload)
+            if factory is None:
+                raise KeyError(
+                    f"unknown workload {self.workload!r}; choose from "
+                    f"{sorted(self._factories())}"
+                )
+        elif not isinstance(self.workload, ExperimentConfig):
+            raise TypeError(
+                "workload must be a WORKLOADS name or an ExperimentConfig; "
+                f"got {type(self.workload).__name__}"
+            )
+
+    @staticmethod
+    def _factories() -> dict[str, Callable[..., ExperimentConfig]]:
+        from ..harness.configs import WORKLOADS
+
+        return WORKLOADS
+
+    @property
+    def label(self) -> str:
+        """Human-readable sweep name."""
+        if self.name:
+            return self.name
+        if isinstance(self.workload, str):
+            return self.workload
+        return self.workload.name or self.workload.algorithm
+
+    def points(self) -> list[dict[str, Any]]:
+        """The merged override dict of every sweep point, in expansion order."""
+        axis_points = [axis.points for axis in self.axes]
+        merged: list[dict[str, Any]] = []
+        for combo in itertools.product(*axis_points) if axis_points else [()]:
+            overrides: dict[str, Any] = dict(self.base)
+            axis_keys: set[str] = set()
+            for point in combo:
+                overlap = set(point) & axis_keys
+                if overlap:
+                    raise ValueError(
+                        f"axes assign {sorted(overlap)} more than once; "
+                        "use a single axis per key"
+                    )
+                axis_keys |= set(point)
+                overrides.update(point)
+            merged.append(overrides)
+        return merged
+
+    def expand(self) -> list[ExperimentConfig]:
+        """Expand into concrete configs, one per sweep point."""
+        out: list[ExperimentConfig] = []
+        for overrides in self.points():
+            if isinstance(self.workload, str):
+                factory = self._factories()[self.workload]
+                cfg = factory(**overrides)
+            else:
+                cfg = _apply_overrides(self.workload, overrides)
+            point_keys = {k for axis in self.axes for p in axis.points for k in p}
+            label_overrides = {k: overrides[k] for k in sorted(point_keys & set(overrides))}
+            if label_overrides:
+                suffix = _point_label(label_overrides)
+                cfg = replace(cfg, name=f"{cfg.name or self.label}[{suffix}]")
+            elif not cfg.name:
+                cfg = replace(cfg, name=self.label)
+            out.append(cfg)
+        return out
+
+    def __len__(self) -> int:
+        total = 1
+        for axis in self.axes:
+            total *= len(axis)
+        return total

@@ -1,0 +1,37 @@
+"""Sweep-engine smoke test: a tiny sweep must agree across both backends.
+
+This is the fast end-to-end check `scripts/smoke.sh` runs standalone; it is
+also part of the regular suite so CI catches backend divergence.
+"""
+
+from __future__ import annotations
+
+from repro.harness import configs
+from repro.sweep import ResultStore, SweepEngine
+
+HORIZON = 20.0
+
+
+def _four_configs():
+    return [
+        configs.static_path(5, horizon=HORIZON, seed=0),
+        configs.static_path(5, horizon=HORIZON, seed=1),
+        configs.static_ring(6, horizon=HORIZON, seed=0),
+        configs.backbone_churn(6, horizon=HORIZON, seed=0),
+    ]
+
+
+def test_four_config_sweep_parity_across_backends(tmp_path):
+    serial = SweepEngine(processes=None).run(_four_configs())
+    parallel = SweepEngine(processes=2).run(_four_configs())
+    assert len(serial) == len(parallel) == 4
+    for s_row, p_row in zip(serial.rows, parallel.rows):
+        assert s_row.key == p_row.key
+        assert s_row.metrics == p_row.metrics
+    # And a cached rerun costs nothing.
+    store = ResultStore(tmp_path / "cache")
+    SweepEngine(store=store).run(_four_configs())
+    assert store.writes == 4
+    rerun_store = ResultStore(tmp_path / "cache")
+    rerun = SweepEngine(store=rerun_store).run(_four_configs())
+    assert rerun.cached_count == 4 and rerun_store.writes == 0

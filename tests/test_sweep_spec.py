@@ -1,0 +1,155 @@
+"""Tests for sweep specifications and their expansion."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import ExperimentConfig, configs
+from repro.sweep import SweepSpec, grid, seeds, zip_
+
+
+class TestCombinators:
+    def test_grid_is_cartesian_product_last_fastest(self):
+        axis = grid(a=[1, 2], b=[10, 20])
+        assert axis.points == (
+            {"a": 1, "b": 10},
+            {"a": 1, "b": 20},
+            {"a": 2, "b": 10},
+            {"a": 2, "b": 20},
+        )
+
+    def test_zip_is_lockstep(self):
+        axis = zip_(a=[1, 2], b=[10, 20])
+        assert axis.points == ({"a": 1, "b": 10}, {"a": 2, "b": 20})
+
+    def test_zip_rejects_ragged_ranges(self):
+        with pytest.raises(ValueError, match="equally long"):
+            zip_(a=[1, 2], b=[10])
+
+    def test_seeds_int_and_explicit(self):
+        assert seeds(3).points == ({"seed": 0}, {"seed": 1}, {"seed": 2})
+        assert seeds([7, 9]).points == ({"seed": 7}, {"seed": 9})
+
+    def test_scalar_range_rejected(self):
+        with pytest.raises(TypeError, match="iterable"):
+            grid(n=8)
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            grid(n=[])
+        with pytest.raises(ValueError):
+            grid()
+        with pytest.raises(ValueError):
+            seeds(0)
+
+
+class TestNamedWorkloadExpansion:
+    def test_expands_factory_kwargs(self):
+        spec = SweepSpec(
+            "static_path",
+            base={"horizon": 50.0},
+            axes=[grid(n=[4, 6]), seeds(2)],
+        )
+        cfgs = spec.expand()
+        assert len(cfgs) == len(spec) == 4
+        assert [c.params.n for c in cfgs] == [4, 4, 6, 6]
+        assert [c.seed for c in cfgs] == [0, 1, 0, 1]
+        assert all(c.horizon == 50.0 for c in cfgs)
+
+    def test_point_labels_in_names(self):
+        spec = SweepSpec("static_path", base={"n": 4}, axes=[seeds([3])])
+        (cfg,) = spec.expand()
+        assert "seed=3" in cfg.name
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(KeyError, match="no_such"):
+            SweepSpec("no_such_workload")
+
+    def test_every_registered_workload_is_callable(self):
+        for name, factory in configs.WORKLOADS.items():
+            assert callable(factory), name
+            assert getattr(configs, name) is factory
+
+
+class TestConfigBaseExpansion:
+    def test_field_overrides_via_replace(self):
+        base = configs.static_path(6, horizon=40.0)
+        spec = SweepSpec(base, axes=[grid(algorithm=["dcsa", "max"])])
+        cfgs = spec.expand()
+        assert [c.algorithm for c in cfgs] == ["dcsa", "max"]
+        assert all(c.horizon == 40.0 for c in cfgs)
+        # The base object is untouched.
+        assert base.algorithm == "dcsa"
+
+    def test_params_overrides_revalidate(self):
+        base = configs.static_path(6)
+        floor = 2.0 * (1.0 + base.params.rho) * base.params.tau
+        spec = SweepSpec(base, axes=[grid(b0=[1.1 * floor, 2.0 * floor])])
+        cfgs = spec.expand()
+        assert [c.params.b0 for c in cfgs] == [1.1 * floor, 2.0 * floor]
+
+    def test_dotted_params_prefix(self):
+        base = configs.static_path(6)
+        spec = SweepSpec(base, axes=[grid(**{"params.rho": [0.01, 0.02]})])
+        assert [c.params.rho for c in spec.expand()] == [0.01, 0.02]
+
+    def test_invalid_params_override_raises(self):
+        base = configs.static_path(6)
+        spec = SweepSpec(base, axes=[grid(b0=[0.001])])
+        with pytest.raises(Exception, match="b0"):
+            spec.expand()
+
+    def test_sweeping_n_over_concrete_config_rejected(self):
+        # initial_edges were built for n=6; resizing params alone would
+        # silently run a mismatched topology.
+        base = configs.static_path(6)
+        for key in ("n", "params.n"):
+            spec = SweepSpec(base, axes=[grid(**{key: [12]})])
+            with pytest.raises(KeyError, match="named workload"):
+                spec.expand()
+
+    def test_sweeping_horizon_over_churned_config_rejected(self):
+        base = configs.backbone_churn(6)
+        spec = SweepSpec(base, axes=[grid(horizon=[100.0, 200.0])])
+        with pytest.raises(KeyError, match="named workload"):
+            spec.expand()
+        # Churn-free configs sweep horizon freely.
+        plain = configs.static_path(6)
+        spec = SweepSpec(plain, axes=[grid(horizon=[100.0, 200.0])])
+        assert [c.horizon for c in spec.expand()] == [100.0, 200.0]
+
+    def test_unknown_override_key_rejected(self):
+        base = configs.static_path(6)
+        spec = SweepSpec(base, axes=[grid(bogus=[1])])
+        with pytest.raises(KeyError, match="bogus"):
+            spec.expand()
+
+    def test_duplicate_axis_key_rejected(self):
+        base = configs.static_path(6)
+        spec = SweepSpec(base, axes=[seeds(2), seeds(2)])
+        with pytest.raises(ValueError, match="more than once"):
+            spec.expand()
+
+    def test_duplicate_axis_key_rejected_even_when_key_in_base(self):
+        spec = SweepSpec(
+            "static_path",
+            base={"n": 8},
+            axes=[grid(n=[8, 16]), grid(n=[4])],
+        )
+        with pytest.raises(ValueError, match="more than once"):
+            spec.points()
+
+    def test_axis_may_override_base_key(self):
+        spec = SweepSpec("static_path", base={"n": 8, "horizon": 30.0}, axes=[grid(n=[4, 6])])
+        assert [c.params.n for c in spec.expand()] == [4, 6]
+
+    def test_no_axes_expands_to_base(self):
+        base = configs.static_path(6)
+        spec = SweepSpec(base)
+        (cfg,) = spec.expand()
+        assert isinstance(cfg, ExperimentConfig)
+        assert cfg.params.n == 6
+
+    def test_bad_workload_type_rejected(self):
+        with pytest.raises(TypeError, match="workload"):
+            SweepSpec(42)
