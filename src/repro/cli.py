@@ -1,0 +1,322 @@
+"""Command-line interface: ``python -m repro`` (or the ``repro`` script).
+
+Three subcommands drive the sweep subsystem from the shell:
+
+``sweep WORKLOAD``
+    Expand a named workload from :data:`repro.harness.configs.WORKLOADS`
+    over ``--grid`` / ``--zip`` / ``--seeds`` axes, execute it (optionally
+    in parallel) against the content-addressed result store, and print a
+    tidy metrics table.
+
+``ls``
+    List what the store already holds.
+
+``show PREFIX``
+    Dump one stored entry (config + metrics) as JSON, addressed by any
+    unambiguous hash prefix.
+
+Axis values are comma-separated and auto-typed (int -> float -> bool ->
+string), so::
+
+    python -m repro sweep static_path --set horizon=150 \\
+        --grid n=8,16,32 --seeds 4 --processes 4
+
+runs a 12-point sweep, and running it again completes from cache.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Any, Sequence
+
+from .harness.configs import WORKLOADS
+from .sweep import (
+    Axis,
+    ResultStore,
+    SweepEngine,
+    SweepResult,
+    SweepSpec,
+    grid,
+    seeds,
+    sweep_csv,
+    sweep_table,
+    tidy_rows,
+    zip_,
+)
+
+__all__ = ["main"]
+
+#: Default store location (override with --store or REPRO_SWEEP_STORE).
+DEFAULT_STORE = ".sweep-cache"
+
+_TABLE_COLUMNS = [
+    "name",
+    "algorithm",
+    "n",
+    "seed",
+    "max_global_skew",
+    "global_skew_bound",
+    "max_local_skew",
+    "cached",
+]
+
+
+def _parse_value(text: str) -> Any:
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            pass
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    if lowered in ("none", "null"):
+        return None
+    return text
+
+
+def _parse_assignment(item: str) -> tuple[str, list[Any]]:
+    if "=" not in item:
+        raise argparse.ArgumentTypeError(
+            f"expected key=value[,value...]; got {item!r}"
+        )
+    key, _, values = item.partition("=")
+    parsed = [_parse_value(v) for v in values.split(",") if v != ""]
+    if not parsed:
+        raise argparse.ArgumentTypeError(f"no values in {item!r}")
+    return key, parsed
+
+
+def _axes_from_args(args: argparse.Namespace) -> list[Axis]:
+    axes: list[Axis] = []
+    for group in args.grid or []:
+        ranges = dict(_parse_assignment(item) for item in group)
+        axes.append(grid(**ranges))
+    for group in args.zip or []:
+        ranges = dict(_parse_assignment(item) for item in group)
+        axes.append(zip_(**ranges))
+    if args.seeds is not None:
+        _, values = _parse_assignment(f"seed={args.seeds}")
+        if len(values) == 1 and isinstance(values[0], int):
+            axes.append(seeds(values[0]))
+        else:
+            axes.append(seeds([int(v) for v in values]))
+    return axes
+
+
+def _store_from_args(args: argparse.Namespace) -> ResultStore:
+    root = args.store or os.environ.get("REPRO_SWEEP_STORE") or DEFAULT_STORE
+    return ResultStore(root)
+
+
+def _progress_printer(quiet: bool):
+    if quiet:
+        return None
+
+    def progress(done: int, total: int, row) -> None:
+        origin = "cached" if row.cached else f"ran {row.elapsed:.2f}s"
+        print(f"[{done}/{total}] {row.name}  ({origin})", file=sys.stderr)
+
+    return progress
+
+
+# --------------------------------------------------------------------- #
+# Subcommands
+# --------------------------------------------------------------------- #
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    try:
+        base = dict(_parse_assignment(item) for item in args.set or [])
+        for key, values in base.items():
+            if len(values) > 1:
+                raise argparse.ArgumentTypeError(
+                    f"--set {key}= takes a single value; to sweep over "
+                    f"{key} use --grid or --zip"
+                )
+        base_kwargs = {k: v[0] for k, v in base.items()}
+        spec = SweepSpec(args.workload, base=base_kwargs, axes=_axes_from_args(args))
+    except (KeyError, TypeError, ValueError, argparse.ArgumentTypeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    store = _store_from_args(args)
+    engine = SweepEngine(
+        processes=args.processes,
+        store=store,
+        progress=_progress_printer(args.quiet),
+    )
+    t0 = time.perf_counter()
+    try:
+        result: SweepResult = engine.run(spec, reuse_cache=not args.no_cache)
+    except Exception as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    elapsed = time.perf_counter() - t0
+    table = sweep_table(
+        result,
+        columns=args.columns or _TABLE_COLUMNS,
+        title=f"sweep {spec.label} ({len(result)} configs)",
+    )
+    print(table.render(), end="")
+    print(
+        f"{len(result)} configs: {result.executed_count} executed, "
+        f"{result.cached_count} cached, {elapsed:.2f}s wall, "
+        f"store {store.root}"
+    )
+    if args.csv:
+        text = sweep_csv(result, columns=args.columns)
+        if args.csv == "-":
+            print(text, end="")
+        else:
+            with open(args.csv, "w", encoding="utf-8") as fh:
+                fh.write(text)
+            print(f"wrote {args.csv}")
+    return 0
+
+
+def _cmd_ls(args: argparse.Namespace) -> int:
+    store = _store_from_args(args)
+    entries = list(store.entries())
+    if not entries:
+        print(f"store {store.root}: empty")
+        return 0
+    rows = []
+    for entry in entries:
+        cfg = entry.get("config", {})
+        rows.append(
+            {
+                "hash": entry["hash"][:12],
+                "name": cfg.get("name", ""),
+                "algorithm": cfg.get("algorithm", ""),
+                "n": cfg.get("params", {}).get("n"),
+                "seed": cfg.get("seed"),
+                "horizon": cfg.get("horizon"),
+                "max_global_skew": entry.get("metrics", {}).get("max_global_skew"),
+            }
+        )
+    table = sweep_table(
+        rows, title=f"store {store.root} ({len(entries)} entries)"
+    )
+    print(table.render(), end="")
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    store = _store_from_args(args)
+    matches = store.find(args.prefix)
+    if not matches:
+        print(f"error: no entry matches {args.prefix!r} in {store.root}", file=sys.stderr)
+        return 1
+    if len(matches) > 1:
+        print(
+            f"error: {args.prefix!r} is ambiguous ({len(matches)} matches):",
+            file=sys.stderr,
+        )
+        for key in matches[:10]:
+            print(f"  {key}", file=sys.stderr)
+        return 1
+    print(json.dumps(store.get(matches[0]), sort_keys=True, indent=2))
+    return 0
+
+
+# --------------------------------------------------------------------- #
+# Parser
+# --------------------------------------------------------------------- #
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Gradient clock synchronization: experiment sweeps.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="expand and run a named workload sweep",
+        description=(
+            "Run a sweep over a named workload. Workloads: "
+            + ", ".join(sorted(WORKLOADS))
+        ),
+    )
+    p_sweep.add_argument("workload", help="workload name (see --help for the list)")
+    p_sweep.add_argument(
+        "--set",
+        metavar="KEY=VALUE",
+        nargs="+",
+        action="extend",
+        help="fixed workload arguments applied at every point",
+    )
+    p_sweep.add_argument(
+        "--grid",
+        metavar="KEY=V1,V2,...",
+        nargs="+",
+        action="append",
+        help="cartesian-product axis (repeatable; one axis per occurrence)",
+    )
+    p_sweep.add_argument(
+        "--zip",
+        metavar="KEY=V1,V2,...",
+        nargs="+",
+        action="append",
+        help="lockstep axis: all ranges advance together (repeatable)",
+    )
+    p_sweep.add_argument(
+        "--seeds",
+        metavar="N|S1,S2,...",
+        help="seed axis: a count (0..N-1) or explicit comma-separated seeds",
+    )
+    p_sweep.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        metavar="P",
+        help="worker processes (default: serial; results are identical)",
+    )
+    p_sweep.add_argument("--no-cache", action="store_true", help="force re-execution")
+    p_sweep.add_argument(
+        "--csv", metavar="PATH", help="also write tidy rows as CSV ('-' for stdout)"
+    )
+    p_sweep.add_argument(
+        "--columns", metavar="COL", nargs="+", help="table/CSV columns to print"
+    )
+    p_sweep.add_argument("--quiet", action="store_true", help="suppress progress lines")
+    p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_ls = sub.add_parser("ls", help="list cached sweep results")
+    p_ls.set_defaults(func=_cmd_ls)
+
+    p_show = sub.add_parser("show", help="print one cached entry as JSON")
+    p_show.add_argument("prefix", help="config-hash prefix (must be unambiguous)")
+    p_show.set_defaults(func=_cmd_show)
+
+    for p in (p_sweep, p_ls, p_show):
+        p.add_argument(
+            "--store",
+            metavar="DIR",
+            default=None,
+            help=f"result store directory (default: $REPRO_SWEEP_STORE or {DEFAULT_STORE})",
+        )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream (e.g. `| head`) closed the pipe; exit quietly.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,130 @@
+"""Tests for the ``python -m repro`` CLI (run in-process via cli.main)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.sweep import ResultStore
+
+
+@pytest.fixture
+def store_dir(tmp_path):
+    return str(tmp_path / "store")
+
+
+def run_cli(capsys, *argv: str) -> tuple[int, str, str]:
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+SWEEP_ARGS = (
+    "sweep",
+    "static_ring",
+    "--set",
+    "horizon=15",
+    "--grid",
+    "n=5,6",
+    "--seeds",
+    "2",
+    "--quiet",
+)
+
+
+class TestSweep:
+    def test_sweep_runs_and_prints_table(self, capsys, store_dir):
+        code, out, _ = run_cli(capsys, *SWEEP_ARGS, "--store", store_dir)
+        assert code == 0
+        assert "4 configs: 4 executed, 0 cached" in out
+        assert "max_global_skew" in out
+        assert len(ResultStore(store_dir)) == 4
+
+    def test_rerun_is_fully_cached(self, capsys, store_dir):
+        run_cli(capsys, *SWEEP_ARGS, "--store", store_dir)
+        code, out, _ = run_cli(capsys, *SWEEP_ARGS, "--store", store_dir)
+        assert code == 0
+        assert "0 executed, 4 cached" in out
+
+    def test_parallel_matches_serial_output_rows(self, capsys, store_dir, tmp_path):
+        _, out_serial, _ = run_cli(capsys, *SWEEP_ARGS, "--store", store_dir)
+        _, out_par, _ = run_cli(
+            capsys, *SWEEP_ARGS, "--store", str(tmp_path / "other"), "--processes", "2"
+        )
+        table = lambda text: [l for l in text.splitlines() if l.startswith("static_ring")]
+        assert table(out_serial) == table(out_par)
+
+    def test_csv_export(self, capsys, store_dir, tmp_path):
+        csv_path = tmp_path / "rows.csv"
+        code, _, _ = run_cli(
+            capsys,
+            *SWEEP_ARGS,
+            "--store",
+            store_dir,
+            "--csv",
+            str(csv_path),
+            "--columns",
+            "seed",
+            "max_global_skew",
+        )
+        assert code == 0
+        lines = csv_path.read_text().strip().splitlines()
+        assert lines[0] == "seed,max_global_skew"
+        assert len(lines) == 5
+
+    def test_unknown_workload_is_an_error(self, capsys, store_dir):
+        code, _, err = run_cli(capsys, "sweep", "nope", "--store", store_dir)
+        assert code == 2
+        assert "unknown workload" in err
+
+    def test_zip_axis(self, capsys, store_dir):
+        code, out, _ = run_cli(
+            capsys,
+            "sweep",
+            "static_ring",
+            "--set",
+            "horizon=15",
+            "--zip",
+            "n=5,6",
+            "seed=0,1",
+            "--quiet",
+            "--store",
+            store_dir,
+        )
+        assert code == 0
+        assert "2 configs: 2 executed" in out
+
+
+class TestLsShow:
+    def test_ls_empty(self, capsys, store_dir):
+        code, out, _ = run_cli(capsys, "ls", "--store", store_dir)
+        assert code == 0
+        assert "empty" in out
+
+    def test_ls_lists_entries(self, capsys, store_dir):
+        run_cli(capsys, *SWEEP_ARGS, "--store", store_dir)
+        code, out, _ = run_cli(capsys, "ls", "--store", store_dir)
+        assert code == 0
+        assert "4 entries" in out
+
+    def test_show_by_unambiguous_prefix(self, capsys, store_dir):
+        run_cli(capsys, *SWEEP_ARGS, "--store", store_dir)
+        key = ResultStore(store_dir).keys()[0]
+        code, out, _ = run_cli(capsys, "show", key[:16], "--store", store_dir)
+        assert code == 0
+        entry = json.loads(out)
+        assert entry["hash"] == key
+        assert "max_global_skew" in entry["metrics"]
+
+    def test_show_missing_prefix_errors(self, capsys, store_dir):
+        code, _, err = run_cli(capsys, "show", "ffff", "--store", store_dir)
+        assert code == 1
+        assert "no entry" in err
+
+    def test_show_ambiguous_prefix_errors(self, capsys, store_dir):
+        run_cli(capsys, *SWEEP_ARGS, "--store", store_dir)
+        code, _, err = run_cli(capsys, "show", "", "--store", store_dir)
+        assert code == 1
+        assert "ambiguous" in err
