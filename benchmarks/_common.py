@@ -8,13 +8,29 @@ implementation, prints a paper-style table, and persists it under
 Wall-clock timing is recorded by pytest-benchmark with a single round
 (``pedantic(rounds=1)``) — these are multi-second simulations; statistical
 repetition happens across seeds inside each experiment instead.
+
+Simulation sweeps go through :func:`sweep`, a thin wrapper over
+:class:`repro.sweep.SweepEngine` with a shared content-addressed store under
+``benchmarks/.sweep-cache``: a rerun of an unchanged benchmark replays its
+simulations from cache near-instantly, and ``REPRO_BENCH_PROCESSES=4``
+fans the cold runs out over worker processes (results are identical either
+way).
 """
 
 from __future__ import annotations
 
 import os
 
+from repro import __version__
+from repro.harness import ExperimentConfig
+from repro.sweep import ResultStore, SweepEngine, SweepResult, SweepSpec
+
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+# Versioned subdirectory: bumping the package version invalidates cached
+# simulation results wholesale. After changing simulation/algorithm code
+# without a version bump, delete this directory — the cache is keyed by
+# config only and would otherwise replay pre-change metrics.
+SWEEP_STORE = os.path.join(os.path.dirname(__file__), ".sweep-cache", f"v{__version__}")
 
 
 def emit(name: str, text: str) -> None:
@@ -29,3 +45,18 @@ def emit(name: str, text: str) -> None:
 def run_once(benchmark, fn):
     """Run ``fn`` exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def sweep(
+    configs: SweepSpec | list[ExperimentConfig],
+    *,
+    processes: int | None = None,
+) -> SweepResult:
+    """Run a benchmark sweep through the shared cached engine.
+
+    ``processes`` defaults to ``$REPRO_BENCH_PROCESSES`` (unset/0 = serial).
+    """
+    if processes is None:
+        processes = int(os.environ.get("REPRO_BENCH_PROCESSES", "0")) or None
+    engine = SweepEngine(processes=processes, store=ResultStore(SWEEP_STORE))
+    return engine.run(configs)

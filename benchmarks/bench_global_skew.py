@@ -30,23 +30,23 @@ from __future__ import annotations
 from repro import SystemParams
 from repro.analysis import TextTable
 from repro.core import skew_bounds as sb
-from repro.harness import configs, run_experiment
+from repro.harness import configs
 from repro.lowerbound import run_masking_experiment
 
-from _common import emit, run_once
+from _common import emit, run_once, sweep
 
 NS = (8, 16, 32, 48)
 SEEDS = (0, 1, 2)
 
 
-def _measure(n: int) -> dict:
-    worst = 0.0
-    for seed in SEEDS:
-        cfg = configs.static_path(n, horizon=200.0, seed=seed, clock_spec="split")
-        cfg.delay_spec = "max"
-        res = run_experiment(cfg)
-        worst = max(worst, res.max_global_skew)
-    return {"n": n, "measured": worst, "bound": sb.global_skew_bound(res.params)}
+def _configs() -> list:
+    out = []
+    for n in NS:
+        for seed in SEEDS:
+            cfg = configs.static_path(n, horizon=200.0, seed=seed, clock_spec="split")
+            cfg.delay_spec = "max"
+            out.append(cfg)
+    return out
 
 
 def _run_sweep() -> tuple[str, bool]:
@@ -54,7 +54,18 @@ def _run_sweep() -> tuple[str, bool]:
         ["n", "measured skew (worst of seeds)", "G(n)", "measured/bound", "bound held"],
         title="T6.9: global skew vs network size (path, split clocks, max delays)",
     )
-    rows = [_measure(n) for n in NS]
+    # One engine sweep over the n x seed grid; per-n worst over seeds.
+    swept = sweep(_configs())
+    rows = []
+    for i, n in enumerate(NS):
+        per_n = swept.rows[i * len(SEEDS) : (i + 1) * len(SEEDS)]
+        rows.append(
+            {
+                "n": n,
+                "measured": max(r.metrics["max_global_skew"] for r in per_n),
+                "bound": per_n[0].metrics["global_skew_bound"],
+            }
+        )
     all_held = all(r["measured"] <= r["bound"] + 1e-9 for r in rows)
     for r in rows:
         table.add_row(
@@ -72,12 +83,13 @@ def _run_sweep() -> tuple[str, bool]:
     )
     # The no-stable-edge regime.
     cfg = configs.rotating_backbone(16, horizon=250.0, window=30.0, seed=5)
-    res = run_experiment(cfg)
-    all_held &= res.max_global_skew <= sb.global_skew_bound(res.params) + 1e-9
+    (rb,) = sweep([cfg]).rows
+    rb_skew = rb.metrics["max_global_skew"]
+    rb_bound = rb.metrics["global_skew_bound"]
+    all_held &= rb_skew <= rb_bound + 1e-9
     txt += (
         f"rotating-backbone (no stable edge, n=16): measured "
-        f"{res.max_global_skew:.3f} <= G(n) = "
-        f"{sb.global_skew_bound(res.params):.3f}\n"
+        f"{rb_skew:.3f} <= G(n) = {rb_bound:.3f}\n"
     )
 
     # The shifting adversary (Section 4): extracts Theta(n) skew, showing

@@ -20,11 +20,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.analysis import TextTable, envelope_violations, stable_local_skew_measured
+from repro.analysis import TextTable
 from repro.core import skew_bounds as sb
-from repro.harness import configs, run_experiment
+from repro.harness import configs
 
-from _common import emit, run_once
+from _common import emit, run_once, sweep
 
 WORKLOADS = (
     ("static path (split clocks)", lambda n, s: configs.static_path(n, horizon=250.0, seed=s, clock_spec="split")),
@@ -48,18 +48,18 @@ def _run() -> tuple[str, bool]:
         title=f"T6.12/C6.13: local skew, n={n} (DCSA)",
     )
     compliant = True
-    for name, make in WORKLOADS:
-        res = run_experiment(make(n, 7))
-        chk = envelope_violations(res.record, res.params)
-        compliant &= chk.compliant
+    swept = sweep([make(n, 7) for _name, make in WORKLOADS])
+    for (name, _make), row in zip(WORKLOADS, swept.rows):
+        m = row.metrics
+        compliant &= m["envelope_compliant"]
         table.add_row(
             [
                 name,
-                stable_local_skew_measured(res.record, res.params),
-                sb.stable_local_skew(res.params),
-                chk.samples_checked,
-                chk.violations,
-                chk.worst_ratio,
+                m["stable_local_skew"],
+                m["stable_local_skew_bound"],
+                m["envelope_samples"],
+                m["envelope_violations"],
+                m["envelope_worst_ratio"],
             ]
         )
     txt = table.render()
@@ -70,15 +70,18 @@ def _run() -> tuple[str, bool]:
         ["n", "stable-edge skew (measured)", "s_bar(n)", "G(n)"],
         title="gradient property: local stays near B0 while G(n) ~ n",
     )
-    for nn in (8, 16, 32):
-        res = run_experiment(configs.static_path(nn, horizon=250.0, seed=3,
-                                                 clock_spec="split"))
+    sizes = (8, 16, 32)
+    swept2 = sweep(
+        [configs.static_path(nn, horizon=250.0, seed=3, clock_spec="split") for nn in sizes]
+    )
+    for nn, row in zip(sizes, swept2.rows):
+        m = row.metrics
         table2.add_row(
             [
                 nn,
-                stable_local_skew_measured(res.record, res.params),
-                sb.stable_local_skew(res.params),
-                sb.global_skew_bound(res.params),
+                m["stable_local_skew"],
+                m["stable_local_skew_bound"],
+                m["global_skew_bound"],
             ]
         )
     txt += "\n" + table2.render()

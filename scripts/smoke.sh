@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Sweep-subsystem smoke test: 4-config sweep on both backends + CLI round
+# trip against a throwaway store. Fast (~10 s); run after any change to
+# src/repro/sweep, the harness serialization layer, or the CLI.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== backend parity (pytest) =="
+python -m pytest tests/test_sweep_smoke.py -q
+
+echo "== CLI round trip =="
+store="$(mktemp -d)"
+trap 'rm -rf "$store"' EXIT
+python -m repro sweep static_ring --set n=6 horizon=20 --seeds 2 \
+    --processes 2 --store "$store" --quiet
+python -m repro sweep static_ring --set n=6 horizon=20 --seeds 2 \
+    --store "$store" --quiet | grep -q "0 executed, 2 cached" \
+    || { echo "FAIL: rerun was not served from cache" >&2; exit 1; }
+python -m repro ls --store "$store"
+
+echo "smoke OK"
