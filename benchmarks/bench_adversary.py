@@ -1,0 +1,139 @@
+"""Experiment ADV — adaptive adversaries versus random churn.
+
+The upper bounds of Section 6 are worst-case over an adversary choosing
+drifts, delays and topology changes jointly; random workloads sit far below
+them.  This benchmark measures how much of that gap the adaptive
+adversaries of :mod:`repro.adversary` close, and that they stay *legal*:
+
+1. **Greedy topology beats random churn**: at matched ``n`` / ``rho`` /
+   ``seed`` (same backbone, extra-edge budget and rewiring cadence), the
+   greedy expose-and-retract adversary attains strictly higher peak local
+   skew than :class:`~repro.network.churn.RandomRewirer` — on every seed.
+
+2. **Every adversarial schedule certifies**: the exact Definition-3.1
+   certifier passes each emitted topology schedule at interval
+   :math:`\\mathcal{T}+\\mathcal{D}` (the premise of Theorem 6.9), and
+   measured skews stay below the theory curves ``G(n)`` and ``B(0)``.
+
+3. **Adversary ladder**: drift, delay, topology and the combined adversary
+   versus the non-adversarial baseline at fixed ``n`` — how much skew each
+   lever extracts — with the sweepable ``strength`` knob traced for the
+   drift adversary.
+
+Expected shape: greedy > random everywhere; `tic ok` true everywhere;
+attained skews ordered baseline < single levers < combined, all under the
+bounds.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import TextTable
+from repro.harness import configs
+
+from _common import emit, run_once, sweep
+
+N = 16
+SEEDS = (0, 1, 2, 3)
+HORIZON = 200.0
+
+
+def _greedy_vs_random() -> tuple[str, bool, bool]:
+    table = TextTable(
+        ["n", "seed", "greedy local", "random local", "margin", "tic ok"],
+        title=f"greedy topology adversary vs RandomRewirer (matched, horizon={HORIZON:g})",
+    )
+    greedy_wins = True
+    certified = True
+    for n in (12, N):
+        pairs = [
+            (
+                configs.greedy_topology(n, horizon=HORIZON, seed=s),
+                configs.backbone_churn(n, horizon=HORIZON, seed=s),
+            )
+            for s in SEEDS
+        ]
+        swept = sweep([cfg for pair in pairs for cfg in pair])
+        for s, (g_row, r_row) in zip(
+            SEEDS, zip(swept.rows[0::2], swept.rows[1::2])
+        ):
+            g, r = g_row.metrics, r_row.metrics
+            greedy_wins &= g["max_local_skew"] > r["max_local_skew"]
+            certified &= bool(g["tic_ok"])
+            table.add_row(
+                [
+                    n,
+                    s,
+                    g["max_local_skew"],
+                    r["max_local_skew"],
+                    g["max_local_skew"] - r["max_local_skew"],
+                    g["tic_ok"],
+                ]
+            )
+    return table.render(), greedy_wins, certified
+
+
+def _adversary_ladder() -> tuple[str, bool, bool]:
+    workloads = (
+        ("baseline (split clocks)", configs.static_path(N, horizon=HORIZON, seed=0)),
+        ("drift adversary", configs.adversarial_drift(N, horizon=HORIZON, seed=0)),
+        ("delay adversary", configs.adversarial_delay(N, horizon=HORIZON, seed=0)),
+        ("greedy topology", configs.greedy_topology(N, horizon=HORIZON, seed=0)),
+        ("combined adversary", configs.combined_adversary(N, horizon=HORIZON, seed=0)),
+    )
+    p = workloads[0][1].params
+    table = TextTable(
+        ["workload", "global skew", "local skew", "G(n)", "tic ok"],
+        title=f"adversary ladder, n={N} (G(n)={p.global_skew_bound:.3f})",
+    )
+    certified = True
+    bounded = True
+    swept = sweep([cfg for _name, cfg in workloads])
+    for (name, _cfg), row in zip(workloads, swept.rows):
+        m = row.metrics
+        if m["tic_ok"] is not None:
+            certified &= bool(m["tic_ok"])
+        bounded &= m["max_global_skew"] <= p.global_skew_bound
+        table.add_row(
+            [
+                name,
+                m["max_global_skew"],
+                m["max_local_skew"],
+                p.global_skew_bound,
+                m["tic_ok"],
+            ]
+        )
+    return table.render(), certified, bounded
+
+
+def _strength_trace() -> str:
+    strengths = (0.0, 0.25, 0.5, 0.75, 1.0)
+    table = TextTable(
+        ["strength", "global skew", "local skew"],
+        title=f"drift adversary strength sweep, n={N}",
+    )
+    swept = sweep(
+        [
+            configs.adversarial_drift(N, strength=s, horizon=HORIZON, seed=0)
+            for s in strengths
+        ]
+    )
+    for s, row in zip(strengths, swept.rows):
+        m = row.metrics
+        table.add_row([s, m["max_global_skew"], m["max_local_skew"]])
+    return table.render()
+
+
+def _run() -> tuple[str, bool, bool, bool]:
+    txt1, greedy_wins, certified1 = _greedy_vs_random()
+    txt2, certified2, bounded = _adversary_ladder()
+    txt3 = _strength_trace()
+    joined = "\n".join([txt1, txt2, txt3])
+    return joined, greedy_wins, certified1 and certified2, bounded
+
+
+def test_bench_adversary(benchmark):
+    txt, greedy_wins, certified, bounded = run_once(benchmark, _run)
+    emit("adversary", txt)
+    assert greedy_wins, "greedy topology adversary did not beat RandomRewirer"
+    assert certified, "an adversarial schedule failed T-interval certification"
+    assert bounded, "an adversarial run exceeded the global skew bound G(n)"

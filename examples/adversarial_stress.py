@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Adaptive adversaries: how much skew can the model's quantifier extract?
+
+The theorems hold against an adversary choosing clock drifts, message
+delays and topology changes jointly; this example unleashes the executable
+version of that adversary (:mod:`repro.adversary`) on a path network and
+compares what each lever extracts against the non-adversarial baseline and
+against the theory bounds:
+
+* the **drift** adversary re-pins the leading half of the network to
+  ``1 + rho`` (trailing half to ``1 - rho``) every few time units;
+* the **delay** adversary masks skew online -- messages from ahead nodes
+  take the full bound :math:`\\mathcal{T}`, messages from behind nodes
+  arrive instantly;
+* the **greedy topology** adversary exposes the worst clock gap in the
+  network as local skew via transient expose-and-retract edges, with every
+  removal certified against T-interval connectivity;
+* the **combined** adversary plays all three at once.
+
+Every adversarial schedule is then certified against Definition 3.1 at
+interval :math:`\\mathcal{T}+\\mathcal{D}` -- the adversary is strong but
+stays inside the model.
+
+Usage::
+
+    python examples/adversarial_stress.py [n] [seed]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.adversary import scan_interval_connectivity
+from repro.analysis import TextTable
+from repro.harness import configs, run_experiment
+
+
+def main(n: int = 16, seed: int = 0) -> None:
+    horizon = 200.0
+    workloads = (
+        ("baseline (split clocks)", configs.static_path(n, horizon=horizon, seed=seed)),
+        ("drift adversary", configs.adversarial_drift(n, horizon=horizon, seed=seed)),
+        ("delay adversary", configs.adversarial_delay(n, horizon=horizon, seed=seed)),
+        ("greedy topology", configs.greedy_topology(n, horizon=horizon, seed=seed)),
+        ("combined adversary", configs.combined_adversary(n, horizon=horizon, seed=seed)),
+    )
+    params = workloads[0][1].params
+    interval = params.max_delay + params.discovery_bound
+    print(
+        f"{n}-node path, horizon {horizon:g}; bounds: G(n)={params.global_skew_bound:.3f}, "
+        f"certifying {interval:g}-interval connectivity"
+    )
+
+    table = TextTable(
+        ["workload", "global skew", "local skew", "jumps", "certified"],
+        title=f"adaptive adversaries vs baseline (n={n}, seed={seed})",
+    )
+    for name, cfg in workloads:
+        res = run_experiment(cfg)
+        if cfg.adversary is not None:
+            report = scan_interval_connectivity(res.graph, interval, horizon)
+            certified = report.summary().split(":")[1].strip().split(" ")[0]
+        else:
+            certified = "-"
+        table.add_row(
+            [name, res.max_global_skew, res.max_local_skew, res.total_jumps(), certified]
+        )
+    print(table.render())
+    print(
+        "The greedy topology adversary converts the network's global skew "
+        "into *local* skew on transient edges -- the exact regime the "
+        "dynamic local skew envelope (Corollary 6.13) is designed for."
+    )
+
+
+if __name__ == "__main__":
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 16
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 0
+    main(n, seed)

@@ -13,8 +13,12 @@ Synchronization in Dynamic Networks* (SPAA 2009 / MIT-CSAIL-TR-2009-022):
   comparators;
 * :mod:`repro.lowerbound` -- the executable Section 4 constructions (delay
   masks, the alpha/beta executions of Lemma 4.2, the Figure 1 scenario);
+* :mod:`repro.adversary` -- adaptive drift/delay/topology adversaries and
+  the T-interval connectivity certifier that keeps them legal;
 * :mod:`repro.analysis` -- skew recording, metrics and paper-style reports;
-* :mod:`repro.harness` -- one-call experiment runner and canned configs.
+* :mod:`repro.harness` -- one-call experiment runner and canned configs;
+* :mod:`repro.sweep` -- cached, parallel experiment sweeps (also via the
+  ``python -m repro`` CLI).
 
 Quickstart::
 

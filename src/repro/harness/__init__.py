@@ -2,10 +2,12 @@
 
 from . import configs, registry
 from .registry import (
+    ADVERSARY_BUILDERS,
     CHURN_BUILDERS,
     CLOCK_BUILDERS,
     DELAY_BUILDERS,
     DISCOVERY_BUILDERS,
+    AdversaryRef,
     ChurnRef,
     SerializationError,
 )
@@ -19,11 +21,13 @@ from .runner import (
 )
 
 __all__ = [
+    "ADVERSARY_BUILDERS",
     "ALGORITHMS",
     "CHURN_BUILDERS",
     "CLOCK_BUILDERS",
     "DELAY_BUILDERS",
     "DISCOVERY_BUILDERS",
+    "AdversaryRef",
     "ChurnRef",
     "Experiment",
     "ExperimentConfig",

@@ -20,7 +20,7 @@ from ..network.topology import (
     two_chain_edges,
 )
 from ..params import SystemParams
-from .registry import ChurnRef
+from .registry import AdversaryRef, ChurnRef
 from .runner import ExperimentConfig
 
 __all__ = [
@@ -34,6 +34,10 @@ __all__ = [
     "edge_insertion",
     "flapping_edges",
     "two_chain_insertion",
+    "adversarial_drift",
+    "adversarial_delay",
+    "greedy_topology",
+    "combined_adversary",
 ]
 
 
@@ -342,6 +346,166 @@ def two_chain_insertion(
     )
 
 
+# ---------------------------------------------------------------------- #
+# Adversarial workloads (see repro.adversary and docs/adversaries.md)
+# ---------------------------------------------------------------------- #
+
+
+def adversarial_drift(
+    n: int,
+    *,
+    period: float = 5.0,
+    strength: float = 1.0,
+    horizon: float = 300.0,
+    seed: int = 0,
+    algorithm: str = "dcsa",
+    b0: float | None = None,
+) -> ExperimentConfig:
+    """Static path under the adaptive two-sided extremal drift adversary.
+
+    Clocks start perfect; the adversary owns every rate and re-pins the
+    leading half of the network to ``1 + strength*rho`` (trailing half to
+    ``1 - strength*rho``) each ``period``.  Sweep ``strength`` in [0, 1]
+    to trace skew versus adversary power.
+    """
+    return ExperimentConfig(
+        params=_params(n, b0),
+        initial_edges=path_edges(n),
+        algorithm=algorithm,
+        clock_spec="perfect",
+        adversary=AdversaryRef(
+            "adaptive_drift",
+            {"period": period, "strength": strength, "horizon": horizon},
+        ),
+        horizon=horizon,
+        seed=seed,
+        name=f"adversarial_drift(n={n}, strength={strength}, {algorithm})",
+    )
+
+
+def adversarial_delay(
+    n: int,
+    *,
+    horizon: float = 300.0,
+    seed: int = 0,
+    algorithm: str = "dcsa",
+    clock_spec: str = "split",
+    b0: float | None = None,
+) -> ExperimentConfig:
+    """Static path whose message delays are chosen online to mask skew.
+
+    Every message from an ahead node takes :math:`\\mathcal{T}`; every
+    message from a behind node arrives instantly -- the shifting technique
+    of the lower bounds, re-aimed at each send.
+    """
+    return ExperimentConfig(
+        params=_params(n, b0),
+        initial_edges=path_edges(n),
+        algorithm=algorithm,
+        clock_spec=clock_spec,
+        adversary=AdversaryRef("adaptive_delay", {}),
+        horizon=horizon,
+        seed=seed,
+        name=f"adversarial_delay(n={n}, {algorithm})",
+    )
+
+
+def greedy_topology(
+    n: int,
+    *,
+    k_extra: int = 4,
+    period: float = 5.0,
+    hold: float | None = 2.0,
+    horizon: float = 300.0,
+    seed: int = 0,
+    algorithm: str = "dcsa",
+    clock_spec: str = "split",
+    b0: float | None = None,
+) -> ExperimentConfig:
+    """Path backbone + greedy skew-seeking churn of ``k_extra`` edges.
+
+    Deliberately matched to :func:`backbone_churn` (same backbone, clocks,
+    budget and rewiring cadence) so benchmarks can isolate the value of
+    *choosing* edges over sampling them.  Inserted edges are retracted
+    after ``hold`` (the expose-and-retract attack; ``hold=None`` keeps
+    them until recycled), and every removal passes through a connectivity
+    guard certifying :math:`(\\mathcal{T}+\\mathcal{D})`-interval
+    connectivity online.
+    """
+    params = _params(n, b0)
+    backbone = path_edges(n)
+    interval = params.max_delay + params.discovery_bound
+    adversary = AdversaryRef(
+        "greedy_topology",
+        {
+            "n": n,
+            "k_extra": k_extra,
+            "period": period,
+            "protected": backbone,
+            "interval": interval,
+            "hold": hold,
+            "horizon": horizon,
+        },
+    )
+    return ExperimentConfig(
+        params=params,
+        initial_edges=backbone,
+        algorithm=algorithm,
+        clock_spec=clock_spec,
+        adversary=adversary,
+        horizon=horizon,
+        seed=seed,
+        name=f"greedy_topology(n={n}, {algorithm})",
+    )
+
+
+def combined_adversary(
+    n: int,
+    *,
+    period: float = 5.0,
+    strength: float = 1.0,
+    k_extra: int = 4,
+    horizon: float = 300.0,
+    seed: int = 0,
+    algorithm: str = "dcsa",
+    b0: float | None = None,
+) -> ExperimentConfig:
+    """The joint adversary: drift + delay + topology on one execution.
+
+    This is the closest executable analogue of the model's quantifier --
+    one adversary choosing rates, delays and churn together, subject to
+    the envelope, the delay bound and T-interval connectivity.
+    """
+    params = _params(n, b0)
+    backbone = path_edges(n)
+    interval = params.max_delay + params.discovery_bound
+    adversary = AdversaryRef(
+        "combined",
+        {
+            "drift": {"period": period, "strength": strength, "horizon": horizon},
+            "delay": {},
+            "topology": {
+                "n": n,
+                "k_extra": k_extra,
+                "period": period,
+                "protected": backbone,
+                "interval": interval,
+                "horizon": horizon,
+            },
+        },
+    )
+    return ExperimentConfig(
+        params=params,
+        initial_edges=backbone,
+        algorithm=algorithm,
+        clock_spec="perfect",
+        adversary=adversary,
+        horizon=horizon,
+        seed=seed,
+        name=f"combined_adversary(n={n}, strength={strength}, {algorithm})",
+    )
+
+
 #: Named workload registry: the single place sweeps and the CLI resolve
 #: workload names.  Every factory above registers itself here.
 WORKLOADS = {
@@ -354,4 +518,8 @@ WORKLOADS = {
     "edge_insertion": edge_insertion,
     "flapping_edges": flapping_edges,
     "two_chain_insertion": two_chain_insertion,
+    "adversarial_drift": adversarial_drift,
+    "adversarial_delay": adversarial_delay,
+    "greedy_topology": greedy_topology,
+    "combined_adversary": combined_adversary,
 }

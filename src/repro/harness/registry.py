@@ -12,7 +12,10 @@ registries below and is referenced by that name instead:
 * :data:`CHURN_BUILDERS` holds factories ``(params, rng, **kwargs) ->
   ChurnProcess``; configs reference them through :class:`ChurnRef`, a
   frozen, JSON-safe ``(name, kwargs)`` pair that *is itself* a valid churn
-  builder callable.
+  builder callable;
+* :data:`ADVERSARY_BUILDERS` holds factories ``(params, rng, **kwargs) ->
+  Adversary`` referenced through :class:`AdversaryRef`, the same pattern
+  for the adaptive adversaries of :mod:`repro.adversary`.
 
 Register with the decorators::
 
@@ -21,29 +24,41 @@ Register with the decorators::
 
     cfg = ExperimentConfig(..., churn=[ChurnRef("my_churn", {"k": 3})])
 
-``ChurnRef`` kwargs are canonicalised at construction (tuples -> lists,
-numpy scalars/arrays -> python numbers / nested lists) so that
+    @register_adversary("my_adversary")
+    def _build(params, rng, *, period: float) -> Adversary: ...
+
+    cfg = ExperimentConfig(..., adversary=AdversaryRef("my_adversary",
+                                                       {"period": 5.0}))
+
+Ref kwargs are canonicalised at construction (tuples -> lists, numpy
+scalars/arrays -> python numbers / nested lists) so that
 ``to_dict``/``from_dict`` round-trips are exact and hashing is stable.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping, TypeVar
+from typing import TYPE_CHECKING, Any, Callable, Mapping, TypeVar
 
 import numpy as np
 
 from ..network.churn import ChurnProcess
 from ..params import SystemParams
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..adversary.base import Adversary
+
 __all__ = [
+    "ADVERSARY_BUILDERS",
     "CHURN_BUILDERS",
     "CLOCK_BUILDERS",
     "DELAY_BUILDERS",
     "DISCOVERY_BUILDERS",
+    "AdversaryRef",
     "ChurnRef",
     "SerializationError",
     "jsonify",
+    "register_adversary",
     "register_churn",
     "register_clock",
     "register_delay",
@@ -103,6 +118,8 @@ DELAY_BUILDERS: dict[str, Callable[..., Any]] = {}
 DISCOVERY_BUILDERS: dict[str, Callable[..., Any]] = {}
 #: Churn factories: name -> (params, rng, **kwargs) -> ChurnProcess.
 CHURN_BUILDERS: dict[str, Callable[..., ChurnProcess]] = {}
+#: Adversary factories: name -> (params, rng, **kwargs) -> Adversary.
+ADVERSARY_BUILDERS: dict[str, Callable[..., "Adversary"]] = {}
 
 _F = TypeVar("_F", bound=Callable[..., Any])
 
@@ -135,6 +152,11 @@ def register_discovery(name: str):
 def register_churn(name: str):
     """Register a named churn factory addressable via :class:`ChurnRef`."""
     return _register(CHURN_BUILDERS, "churn", name)
+
+
+def register_adversary(name: str):
+    """Register a named adversary factory addressable via :class:`AdversaryRef`."""
+    return _register(ADVERSARY_BUILDERS, "adversary", name)
 
 
 # --------------------------------------------------------------------- #
@@ -176,6 +198,51 @@ class ChurnRef:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ChurnRef":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(name=data["name"], kwargs=dict(data.get("kwargs", {})))
+
+
+# --------------------------------------------------------------------- #
+# AdversaryRef
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class AdversaryRef:
+    """A serializable reference to a registered adversary builder.
+
+    Mirrors :class:`ChurnRef`: behaves like a builder callable
+    ``(params, rng) -> Adversary`` so it slots into
+    ``ExperimentConfig.adversary``, while round-tripping through
+    :meth:`to_dict`/:meth:`from_dict` for hashing and multiprocessing.
+    """
+
+    name: str
+    kwargs: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.name not in ADVERSARY_BUILDERS:
+            raise KeyError(
+                f"unknown adversary builder {self.name!r}; registered: "
+                f"{sorted(ADVERSARY_BUILDERS)}"
+            )
+        object.__setattr__(
+            self,
+            "kwargs",
+            jsonify(self.kwargs, _context=f"AdversaryRef({self.name!r})"),
+        )
+
+    def __call__(
+        self, params: SystemParams, rng: np.random.Generator
+    ) -> "Adversary":
+        return ADVERSARY_BUILDERS[self.name](params, rng, **self.kwargs)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data form: ``{"kind": "ref", "name": ..., "kwargs": ...}``."""
+        return {"kind": "ref", "name": self.name, "kwargs": self.kwargs}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "AdversaryRef":
         """Rebuild from :meth:`to_dict` output."""
         return cls(name=data["name"], kwargs=dict(data.get("kwargs", {})))
 
@@ -262,3 +329,94 @@ def _build_rotating_backbone(
     from ..network.churn import RotatingBackboneChurn
 
     return RotatingBackboneChurn(n, window, overlap, rng, horizon=horizon)
+
+
+# --------------------------------------------------------------------- #
+# Built-in adversary builders
+# --------------------------------------------------------------------- #
+#
+# One registered factory per adversary class of :mod:`repro.adversary`.
+# ``rho`` comes from the run's params (never a kwarg) so the drift adversary
+# can never leave the envelope the rest of the execution assumes.
+
+
+@register_adversary("adaptive_drift")
+def _build_adaptive_drift(
+    params: SystemParams,
+    rng: np.random.Generator,
+    *,
+    period: float,
+    strength: float = 1.0,
+    horizon: float | None = None,
+) -> "Adversary":
+    from ..adversary.drift import DriftAdversary
+
+    return DriftAdversary(
+        params.rho, period, strength=strength, horizon=horizon
+    )
+
+
+@register_adversary("adaptive_delay")
+def _build_adaptive_delay(
+    params: SystemParams,
+    rng: np.random.Generator,
+    *,
+    edges: list[list[int]] | None = None,
+) -> "Adversary":
+    from ..adversary.delay import DelayAdversary
+
+    return DelayAdversary(edges=edges)
+
+
+@register_adversary("greedy_topology")
+def _build_greedy_topology(
+    params: SystemParams,
+    rng: np.random.Generator,
+    *,
+    n: int,
+    k_extra: int,
+    period: float,
+    protected: list[list[int]] = (),
+    interval: float | None = None,
+    hold: float | None = None,
+    horizon: float | None = None,
+) -> "Adversary":
+    from ..adversary.topology import GreedyTopologyAdversary
+
+    return GreedyTopologyAdversary(
+        n,
+        k_extra,
+        period,
+        protected=[tuple(e) for e in protected],
+        interval=interval,
+        hold=hold,
+        horizon=horizon,
+    )
+
+
+@register_adversary("combined")
+def _build_combined(
+    params: SystemParams,
+    rng: np.random.Generator,
+    *,
+    drift: Mapping[str, Any] | None = None,
+    delay: Mapping[str, Any] | None = None,
+    topology: Mapping[str, Any] | None = None,
+) -> "Adversary":
+    """The joint adversary: any subset of drift/delay/topology kwargs.
+
+    Each non-``None`` mapping is forwarded to the corresponding registered
+    builder, so ``AdversaryRef("combined", {"drift": {...}, "delay": {}})``
+    composes exactly the parts it names.
+    """
+    from ..adversary.base import CombinedAdversary
+
+    parts = []
+    for name, kwargs in (
+        ("adaptive_drift", drift),
+        ("adaptive_delay", delay),
+        ("greedy_topology", topology),
+    ):
+        if kwargs is not None:
+            parts.append(ADVERSARY_BUILDERS[name](params, rng, **kwargs))
+    return CombinedAdversary(parts)

@@ -19,6 +19,7 @@ from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
 
+from ..adversary.base import Adversary
 from ..analysis.metrics import max_global_skew, max_local_skew
 from ..analysis.recorder import RunRecord, SkewRecorder
 from ..baselines import FreeRunningNode, MaxSyncNode, StaticGradientNode
@@ -44,6 +45,7 @@ from .registry import (
     CLOCK_BUILDERS,
     DELAY_BUILDERS,
     DISCOVERY_BUILDERS,
+    AdversaryRef,
     ChurnRef,
     SerializationError,
     jsonify,
@@ -71,6 +73,7 @@ ClockSpec = str | Callable[[int, SystemParams, np.random.Generator, float], Hard
 DelaySpec = str | Callable[[SystemParams, np.random.Generator], DelayPolicy]
 DiscoverySpec = str | Callable[[SystemParams, np.random.Generator], DiscoveryPolicy]
 ChurnBuilder = Callable[[SystemParams, np.random.Generator], ChurnProcess]
+AdversaryBuilder = Callable[[SystemParams, np.random.Generator], Adversary]
 
 
 @dataclass
@@ -101,6 +104,12 @@ class ExperimentConfig:
     churn:
         Concrete :class:`ChurnProcess` instances and/or builders
         ``(params, rng) -> ChurnProcess``.
+    adversary:
+        Optional adaptive adversary (see :mod:`repro.adversary`): a
+        concrete :class:`~repro.adversary.base.Adversary` or a builder
+        ``(params, rng) -> Adversary`` -- use
+        :class:`~repro.harness.registry.AdversaryRef` for serializable
+        configs.  Installed at ``t = 0`` after churn, before nodes start.
     horizon:
         Run length (real time).
     sample_interval:
@@ -124,6 +133,7 @@ class ExperimentConfig:
     delay_spec: DelaySpec = "uniform"
     discovery_spec: DiscoverySpec = "uniform"
     churn: Sequence[ChurnProcess | ChurnBuilder] = field(default_factory=list)
+    adversary: Adversary | AdversaryBuilder | None = None
     horizon: float = 200.0
     sample_interval: float = 1.0
     seed: int = 0
@@ -169,6 +179,23 @@ class ExperimentConfig:
                     "ChurnRef(name, kwargs). ScriptedChurn and ChurnRef "
                     "entries serialize directly."
                 )
+        if self.adversary is None:
+            adversary_entry = None
+        elif isinstance(self.adversary, AdversaryRef):
+            adversary_entry = self.adversary.to_dict()
+        else:
+            what = (
+                f"adversary {type(self.adversary).__name__}"
+                if isinstance(self.adversary, Adversary)
+                else "adversary builder callable "
+                f"{getattr(self.adversary, '__name__', self.adversary)!r}"
+            )
+            raise SerializationError(
+                f"cannot serialize {what}; register a factory in "
+                "repro.harness.registry.ADVERSARY_BUILDERS (via "
+                "@register_adversary(name)) and reference it as "
+                "AdversaryRef(name, kwargs)."
+            )
         return {
             "params": self.params.to_dict(),
             "initial_edges": [[int(u), int(v)] for u, v in self.initial_edges],
@@ -179,6 +206,7 @@ class ExperimentConfig:
                 self.discovery_spec, "discovery_spec", "DISCOVERY_BUILDERS"
             ),
             "churn": churn_entries,
+            "adversary": adversary_entry,
             "horizon": float(self.horizon),
             "sample_interval": float(self.sample_interval),
             "seed": int(self.seed),
@@ -211,11 +239,25 @@ class ExperimentConfig:
                 )
             else:
                 raise ValueError(f"unknown churn entry kind {kind!r}")
+        adversary: AdversaryRef | None = None
+        adversary_entry = data.pop("adversary", None)
+        if adversary_entry is not None:
+            if adversary_entry.get("kind") != "ref":
+                raise ValueError(
+                    f"unknown adversary entry kind {adversary_entry.get('kind')!r}"
+                )
+            adversary = AdversaryRef.from_dict(adversary_entry)
         known = {f.name for f in fields(cls)}
         unknown = sorted(set(data) - known)
         if unknown:
             raise ValueError(f"unknown ExperimentConfig fields: {unknown}")
-        return cls(params=params, initial_edges=initial_edges, churn=churn, **data)
+        return cls(
+            params=params,
+            initial_edges=initial_edges,
+            churn=churn,
+            adversary=adversary,
+            **data,
+        )
 
 
 @dataclass
@@ -420,7 +462,17 @@ class Experiment:
                 proc.install(self.sim, self.graph)
             else:
                 proc(params, churn_rng).install(self.sim, self.graph)
-        # 6. Start node activity.
+        # 6. Adversary (still t = 0: clocks may be swapped, no timers armed
+        #    yet, and churn-seeded edges are already visible to observe).
+        self.adversary: Adversary | None = None
+        if cfg.adversary is not None:
+            adversary_rng = rngf.spawn("adversary")
+            adv = cfg.adversary
+            if not isinstance(adv, Adversary):
+                adv = adv(params, adversary_rng)
+            adv.install(self.sim, self.graph, self.nodes)
+            self.adversary = adv
+        # 7. Start node activity.
         for i in sorted(self.nodes):
             self.nodes[i].start()
 

@@ -178,6 +178,29 @@ class DynamicGraph:
         ts = self._hist_t.get(key, [])
         return list(zip(ts, self._hist_a.get(key, [])))
 
+    def event_times(self) -> list[float]:
+        """All distinct mutation times, sorted (used by window scans)."""
+        times: set[float] = set()
+        for ts in self._hist_t.values():
+            times.update(ts)
+        return sorted(times)
+
+    def event_history(self) -> list[tuple[float, int, int, bool]]:
+        """Every mutation ever applied, as ``(time, u, v, added)``.
+
+        Sorted by ``(time, u, v)``; same-instant events on *different*
+        edges keep a deterministic order (an edge cannot change twice at
+        one instant, so the order within a timestamp is immaterial for
+        replay).
+        """
+        events = [
+            (t, key[0], key[1], added)
+            for key, ts in self._hist_t.items()
+            for t, added in zip(ts, self._hist_a[key])
+        ]
+        events.sort(key=lambda e: (e[0], e[1], e[2]))
+        return events
+
     def exists_at(self, u: int, v: int, t: float) -> bool:
         """Whether the edge is in ``E(t)``.
 
@@ -261,31 +284,46 @@ class DynamicGraph:
         """Whether ``G[t1, t2]`` is connected (one window of Definition 3.1)."""
         return self._connected(self._nodes, self.edges_existing_throughout(t1, t2))
 
+    def window_anchors(self, interval: float, t_end: float) -> list[float]:
+        """Sufficient anchor times for ``interval``-window checks on ``[0, t_end]``.
+
+        Definition 3.1 quantifies over all real ``t``, but the content of
+        ``G[t, t + interval]`` changes only when an edge event enters or
+        leaves the window: at every event time (existence at ``t`` flips,
+        and a removal stops counting once ``t`` passes it) and at every
+        ``event time - interval`` (a removal starts counting once the
+        window's right end reaches it).  Checking windows anchored at 0, at
+        those times, and just after each event time is therefore
+        exhaustive.  Windows are truncated at ``t_end``, so events beyond
+        ``t_end`` cannot affect certification and contribute no anchors.
+        """
+        anchors: set[float] = {0.0}
+        for t in self.event_times():
+            if t <= t_end:
+                anchors.add(t)
+                anchors.add(min(t_end, t + 1e-9))
+                if t - interval > 0.0:
+                    anchors.add(t - interval)
+        return sorted(anchors)
+
     def check_interval_connectivity(
         self, interval: float, t_end: float, *, step: float | None = None
     ) -> bool:
         """Check ``interval``-interval connectivity over ``[0, t_end]``.
 
-        Definition 3.1 quantifies over all real ``t``; between consecutive
-        edge events the window contents change only at event times, so it
-        suffices to test windows anchored at 0, at every event time, and
-        just after every event time.  ``step`` adds extra sample anchors for
-        belt-and-braces testing.
+        Windows are anchored at :meth:`window_anchors`; ``step`` adds extra
+        sample anchors for belt-and-braces testing.  For violation details
+        use :func:`repro.adversary.connectivity.scan_interval_connectivity`,
+        which walks the same anchors.
         """
-        anchors: set[float] = {0.0}
-        for ts in self._hist_t.values():
-            for t in ts:
-                if t <= t_end:
-                    anchors.add(t)
-                    anchors.add(min(t_end, t + 1e-9))
+        anchors: set[float] = set(self.window_anchors(interval, t_end))
         if step is not None:
             k = 0
             while k * step <= t_end:
                 anchors.add(k * step)
                 k += 1
         for t in sorted(anchors):
-            hi = min(t + interval, t_end) if t + interval > t_end else t + interval
-            if not self.is_connected_throughout(t, hi):
+            if not self.is_connected_throughout(t, min(t + interval, t_end)):
                 return False
         return True
 

@@ -33,6 +33,7 @@ __all__ = [
     "HardwareClock",
     "ConstantRateClock",
     "PiecewiseRateClock",
+    "SteerableClock",
     "perfect_clock",
     "two_phase_clock",
     "random_walk_clock",
@@ -166,6 +167,100 @@ class PiecewiseRateClock(HardwareClock):
         return (
             f"PiecewiseRateClock(segments={len(self._times)}, "
             f"rates in [{min(self._rates):.4g}, {max(self._rates):.4g}])"
+        )
+
+
+class SteerableClock(HardwareClock):
+    """A piecewise-constant-rate clock whose *future* rate is set online.
+
+    Unlike :class:`PiecewiseRateClock`, whose whole schedule is fixed at
+    construction, a steerable clock starts at ``initial_rate`` and grows its
+    schedule as :meth:`set_rate` is called with non-decreasing times.  This
+    is the mechanism adaptive drift adversaries
+    (:class:`repro.adversary.drift.DriftAdversary`) use to steer a node's
+    hardware rate in reaction to the observed execution.
+
+    When ``rho`` is given, every rate is validated against the drift
+    envelope ``[1 - rho, 1 + rho]`` and :meth:`rate_bounds` reports the full
+    envelope, so :func:`validate_drift` accepts the clock regardless of
+    which rates the adversary later chooses.
+
+    Past values never change: ``value``/``time_at`` are exact over the
+    segments laid down so far, and :meth:`set_rate` only appends (or
+    replaces a zero-length tail segment).  Note that a ``time_at`` answer
+    computed *before* a subsequent rate change extrapolates the old tail
+    rate -- callers holding timers armed off stale inversions see a bounded
+    subjective error of at most ``2 * rho`` per unit of remaining wait (see
+    the drift adversary's docstring for why this is acceptable).
+    """
+
+    __slots__ = ("_times", "_rates", "_values", "rho")
+
+    def __init__(self, initial_rate: float = 1.0, *, rho: float | None = None) -> None:
+        self.rho = None if rho is None else float(rho)
+        self._check_rate(initial_rate)
+        self._times = [0.0]
+        self._rates = [float(initial_rate)]
+        self._values = [0.0]
+
+    def _check_rate(self, rate: float) -> None:
+        if rate <= 0.0:
+            raise ValueError(f"clock rate must be positive; got {rate!r}")
+        if self.rho is not None and not (
+            1.0 - self.rho - 1e-12 <= rate <= 1.0 + self.rho + 1e-12
+        ):
+            raise ValueError(
+                f"rate {rate!r} outside drift envelope "
+                f"[{1.0 - self.rho:.6g}, {1.0 + self.rho:.6g}]"
+            )
+
+    def set_rate(self, t: float, rate: float) -> None:
+        """Run at ``rate`` from real time ``t`` on (``t >=`` last change)."""
+        self._check_rate(rate)
+        last = self._times[-1]
+        if t < last:
+            raise ValueError(
+                f"rate changes must be time-ordered: {t!r} < {last!r}"
+            )
+        if t == last:
+            # Replace the zero-length tail segment.
+            self._rates[-1] = float(rate)
+            return
+        self._values.append(
+            self._values[-1] + self._rates[-1] * (t - last)
+        )
+        self._times.append(float(t))
+        self._rates.append(float(rate))
+
+    def value(self, t: float) -> float:
+        if t < 0.0:
+            raise ValueError(f"time must be non-negative; got {t!r}")
+        i = bisect_right(self._times, t) - 1
+        return self._values[i] + self._rates[i] * (t - self._times[i])
+
+    def time_at(self, h: float) -> float:
+        if h < 0.0:
+            raise ValueError(f"clock value must be non-negative; got {h!r}")
+        i = bisect_right(self._values, h) - 1
+        if i >= len(self._times):  # pragma: no cover - defensive
+            i = len(self._times) - 1
+        return self._times[i] + (h - self._values[i]) / self._rates[i]
+
+    def rate_at(self, t: float) -> float:
+        if t < 0.0:
+            raise ValueError(f"time must be non-negative; got {t!r}")
+        i = bisect_right(self._times, t) - 1
+        return self._rates[i]
+
+    def rate_bounds(self) -> tuple[float, float]:
+        if self.rho is not None:
+            return (1.0 - self.rho, 1.0 + self.rho)
+        return (min(self._rates), max(self._rates))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"SteerableClock(segments={len(self._times)}, "
+            f"rate={self._rates[-1]:.6g}, rho={self.rho!r})"
         )
 
 

@@ -53,6 +53,11 @@ def tidy_rows(
     (defaults to every metric present, in first-row order).  Rows keep the
     sweep's expansion order, so downstream code can zip them against the
     original spec.
+
+    Adversarial configs additionally surface their adversary as
+    coordinates: ``adversary`` (the builder name) plus one ``adv_<kwarg>``
+    column per scalar builder kwarg -- so sweeps over adversary strength
+    land in tidy rows / CSV as plottable columns, not name suffixes.
     """
     rows = list(result.rows if isinstance(result, SweepResult) else result)
     coords = dict(DEFAULT_COORDS) if coords is None else dict(coords)
@@ -61,6 +66,12 @@ def tidy_rows(
         tidy: dict[str, Any] = {}
         for alias, path in coords.items():
             tidy[alias] = _dig(row.config, path)
+        adv = row.config.get("adversary")
+        if isinstance(adv, Mapping):
+            tidy["adversary"] = adv.get("name")
+            for key, value in adv.get("kwargs", {}).items():
+                if value is None or isinstance(value, (bool, int, float, str)):
+                    tidy[f"adv_{key}"] = value
         keys = metrics if metrics is not None else list(row.metrics)
         for key in keys:
             tidy[key] = row.metrics.get(key)
@@ -74,7 +85,13 @@ def _columns(
 ) -> list[str]:
     if columns is not None:
         return list(columns)
-    return list(rows[0]) if rows else []
+    # Union of keys in first-seen order: rows may differ (e.g. only the
+    # adversarial rows of a mixed sweep carry adversary coordinates).
+    cols: dict[str, None] = {}
+    for row in rows:
+        for key in row:
+            cols.setdefault(key)
+    return list(cols)
 
 
 def _as_tidy(

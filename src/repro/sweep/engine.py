@@ -23,6 +23,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
+from ..adversary.connectivity import scan_interval_connectivity
 from ..analysis.metrics import envelope_violations, stable_local_skew_measured
 from ..core import skew_bounds
 from ..harness.runner import ExperimentConfig, RunResult, run_experiment
@@ -76,6 +77,24 @@ def summarize_run(result: RunResult) -> dict[str, Any]:
             envelope_violations=None,
             envelope_worst_ratio=None,
             envelope_compliant=None,
+        )
+    if result.config.adversary is not None:
+        # Adversary-generated schedules must stay within the model: certify
+        # (T+D)-interval connectivity -- the premise of Theorem 6.9 -- over
+        # the whole emitted topology schedule.
+        interval = params.max_delay + params.discovery_bound
+        report = scan_interval_connectivity(
+            result.graph, interval, result.config.horizon
+        )
+        metrics.update(
+            tic_interval=interval,
+            tic_ok=report.ok,
+            tic_windows=report.windows_checked,
+            tic_violations=len(report.violations),
+        )
+    else:
+        metrics.update(
+            tic_interval=None, tic_ok=None, tic_windows=None, tic_violations=None
         )
     return metrics
 

@@ -134,14 +134,28 @@ def _apply_overrides(cfg: ExperimentConfig, overrides: Mapping[str, Any]) -> Exp
                 f"unknown override {key!r}; not an ExperimentConfig or "
                 "SystemParams field"
             )
-    if "horizon" in cfg_updates and cfg.churn:
-        # Churn processes bake their own horizon (ChurnRef kwargs, scripted
-        # event times) at construction; overriding only cfg.horizon would
-        # silently run a churn-free tail (or truncate scripted events).
+    if "horizon" in cfg_updates and (cfg.churn or cfg.adversary is not None):
+        # Churn processes and adversaries bake their own horizon (ChurnRef /
+        # AdversaryRef kwargs, scripted event times) at construction;
+        # overriding only cfg.horizon would silently run a churn- or
+        # adversary-free tail (or truncate scripted events).
+        what = "churn processes" if cfg.churn else "adversary"
         raise KeyError(
             "cannot sweep 'horizon' over a concrete ExperimentConfig with "
-            "churn (the churn processes were built for the original "
-            "horizon); use a named workload base instead"
+            f"{what} (built for the original horizon); use a named "
+            "workload base instead"
+        )
+    if cfg.adversary is not None and {"max_delay", "discovery_bound"} & set(
+        param_updates
+    ):
+        # The greedy adversary's guard interval (T + D) is baked into its
+        # kwargs; changing the params underneath would certify against a
+        # stale interval.
+        raise KeyError(
+            "cannot sweep 'max_delay'/'discovery_bound' over a concrete "
+            "ExperimentConfig with an adversary (its connectivity interval "
+            "was built from the original params); use a named workload "
+            "base instead"
         )
     if param_updates:
         params = replace(cfg.params, **param_updates)

@@ -1,0 +1,175 @@
+"""Tests for T-interval connectivity certification (Definition 3.1).
+
+The satellite property: :class:`RotatingBackboneChurn` guarantees
+``L``-interval connectivity for every ``L <= overlap`` by construction
+(each window's spanning path is alive ``overlap`` before and after the
+window), so its recorded event log must pass the certifier for all such
+``L`` -- and the certifier must reject a schedule with a known gap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversary import (
+    ConnectivityGuard,
+    IntervalConnectivityCertifier,
+    scan_interval_connectivity,
+)
+from repro.network.churn import RotatingBackboneChurn
+from repro.network.eventlog import GraphEventLog
+from repro.network.graph import DynamicGraph
+from repro.sim.simulator import Simulator
+
+
+def _rotating_backbone_log(
+    n: int, window: float, overlap: float, horizon: float, seed: int
+) -> GraphEventLog:
+    """Run only the churn process and record its emitted schedule."""
+    sim = Simulator()
+    graph = DynamicGraph(range(n))
+    log = GraphEventLog()
+    log.attach(graph)
+    churn = RotatingBackboneChurn(
+        n, window, overlap, np.random.default_rng(seed), horizon=horizon
+    )
+    churn.install(sim, graph)
+    sim.run_until(horizon)
+    return log
+
+
+class TestRotatingBackboneCertifies:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(min_value=2, max_value=10),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        frac=st.floats(min_value=0.05, max_value=1.0),
+    )
+    def test_passes_for_all_intervals_up_to_overlap(self, n, seed, frac):
+        window, overlap, horizon = 20.0, 8.0, 100.0
+        log = _rotating_backbone_log(n, window, overlap, horizon, seed)
+        interval = frac * overlap
+        cert = IntervalConnectivityCertifier.from_event_log(log, n, interval)
+        report = cert.certify(horizon - window)
+        assert report.ok, report.summary()
+
+    def test_certifier_windows_are_actually_checked(self):
+        log = _rotating_backbone_log(6, 20.0, 8.0, 100.0, seed=1)
+        cert = IntervalConnectivityCertifier.from_event_log(log, 6, 8.0)
+        report = cert.certify(80.0)
+        assert report.windows_checked > 10
+        assert cert.events_observed == len(log.events)
+
+
+class TestCertifierRejectsGaps:
+    def test_known_gap_is_reported(self):
+        # Path alive on [0, 10]; edge (1, 2) missing on (10, 14): every
+        # window overlapping the hole fails for interval 2.
+        cert = IntervalConnectivityCertifier(3, interval=2.0)
+        cert.observe(0.0, 0, 1, True)
+        cert.observe(0.0, 1, 2, True)
+        cert.observe(10.0, 1, 2, False)
+        cert.observe(14.0, 1, 2, True)
+        report = cert.certify(20.0)
+        assert not report.ok
+        v = report.violations[0]
+        assert v.t1 <= 14.0 and v.t2 >= 10.0
+        assert v.reachable < 3
+        assert "FAIL" in report.summary()
+
+    def test_disconnected_final_state_fails(self):
+        cert = IntervalConnectivityCertifier(4, interval=1.0)
+        cert.observe(0.0, 0, 1, True)
+        cert.observe(0.0, 2, 3, True)  # two components forever
+        assert not cert.certify(5.0).ok
+
+    def test_attach_mirrors_live_graph(self):
+        graph = DynamicGraph(range(3), [(0, 1)])
+        cert = IntervalConnectivityCertifier(3, interval=1.0)
+        cert.attach(graph)
+        graph.add_edge(1, 2, 1.0)
+        graph.remove_edge(1, 2, 3.0)
+        assert cert.events_observed == 3  # E_0 replay + two live events
+        assert cert.shadow.history(0, 1) == [(0.0, True)]
+        assert cert.shadow.history(1, 2) == [(1.0, True), (3.0, False)]
+
+    def test_attach_replays_pre_attach_history(self):
+        # Regression: initial edges fire their events during graph
+        # construction, before any subscriber exists; attach must replay
+        # them or every window looks spuriously disconnected.
+        graph = DynamicGraph(range(3), [(0, 1), (1, 2)])
+        cert = IntervalConnectivityCertifier(3, interval=1.0)
+        cert.attach(graph)
+        assert cert.certify(5.0).ok
+
+    def test_window_straddling_two_gaps_is_caught(self):
+        # Regression: the worst window can start at `removal - interval`,
+        # between event times.  Edge (0, 2) is absent on [1, 2) and edge
+        # (0, 1) is removed at 11.5, so the window [1.5, 11.5] isolates
+        # node 0 -- yet no window anchored *at* an event time fails.  The
+        # anchor set must therefore include event_time - interval.
+        cert = IntervalConnectivityCertifier(3, interval=10.0)
+        cert.observe(0.0, 0, 1, True)
+        cert.observe(0.0, 0, 2, True)
+        cert.observe(0.0, 1, 2, True)
+        cert.observe(1.0, 0, 2, False)
+        cert.observe(2.0, 0, 2, True)
+        cert.observe(11.5, 0, 1, False)
+        cert.observe(12.5, 0, 1, True)
+        report = cert.certify(20.0)
+        assert not report.ok
+        assert any(v.t1 == pytest.approx(1.5) for v in report.violations)
+        # The graph's built-in boolean check shares the anchor set.
+        assert not cert.shadow.check_interval_connectivity(10.0, 20.0)
+
+    def test_scan_agrees_with_graph_builtin_check(self):
+        graph = DynamicGraph(range(4), [(0, 1), (1, 2), (2, 3)])
+        graph.remove_edge(1, 2, 5.0)
+        graph.add_edge(1, 2, 6.0)
+        for interval in (0.5, 2.0):
+            report = scan_interval_connectivity(graph, interval, 10.0)
+            assert report.ok == graph.check_interval_connectivity(interval, 10.0)
+
+    def test_scan_validates_arguments(self):
+        graph = DynamicGraph(range(2), [(0, 1)])
+        with pytest.raises(ValueError, match="interval"):
+            scan_interval_connectivity(graph, 0.0, 10.0)
+        with pytest.raises(ValueError, match="t_end"):
+            scan_interval_connectivity(graph, 1.0, -1.0)
+
+
+class TestConnectivityGuard:
+    def test_refuses_protected_edge(self):
+        graph = DynamicGraph(range(3), [(0, 1), (1, 2), (0, 2)])
+        guard = ConnectivityGuard(graph, protected=[(0, 1)])
+        assert not guard.allows_removal(0, 1, 1.0)
+        assert guard.refusals == 1
+
+    def test_refuses_bridge_removal(self):
+        graph = DynamicGraph(range(3), [(0, 1), (1, 2), (0, 2)])
+        guard = ConnectivityGuard(graph)
+        assert guard.allows_removal(0, 2, 1.0)  # cycle edge: fine
+        graph.remove_edge(0, 2, 1.0)
+        assert not guard.allows_removal(0, 1, 2.0)  # now a bridge
+        assert not guard.allows_removal(1, 2, 2.0)
+
+    def test_refuses_absent_edge(self):
+        graph = DynamicGraph(range(3), [(0, 1), (1, 2)])
+        guard = ConnectivityGuard(graph)
+        assert not guard.allows_removal(0, 2, 1.0)
+
+    def test_trailing_window_check(self):
+        # Triangle, but (0, 2) only appeared at t=9: within the trailing
+        # window [4, 10] the subgraph existing *throughout* is the path,
+        # so removing (0, 1) must be refused even though the snapshot
+        # stays connected via the fresh edge.
+        graph = DynamicGraph(range(3), [(0, 1), (1, 2)])
+        graph.add_edge(0, 2, 9.0)
+        guard = ConnectivityGuard(graph, interval=6.0)
+        assert not guard.allows_removal(0, 1, 10.0)
+        # Without the interval requirement the same move is fine.
+        lax = ConnectivityGuard(graph)
+        assert lax.allows_removal(0, 1, 10.0)

@@ -13,8 +13,14 @@ import json
 import pytest
 
 from repro import ParameterError, SystemParams
-from repro.harness import ChurnRef, ExperimentConfig, SerializationError, configs
-from repro.harness.registry import jsonify
+from repro.harness import (
+    AdversaryRef,
+    ChurnRef,
+    ExperimentConfig,
+    SerializationError,
+    configs,
+)
+from repro.harness.registry import ADVERSARY_BUILDERS, CHURN_BUILDERS, jsonify
 from repro.network.churn import RandomRewirer, ScriptedChurn
 from repro.network.topology import path_edges
 
@@ -55,6 +61,10 @@ CANNED = [
     ("edge_insertion", lambda: configs.edge_insertion(8, t_insert=10.0, horizon=30.0)),
     ("flapping_edges", lambda: configs.flapping_edges(8, horizon=20.0)),
     ("two_chain_insertion", lambda: configs.two_chain_insertion(10, t_insert=10.0, horizon=30.0)),
+    ("adversarial_drift", lambda: configs.adversarial_drift(8, horizon=20.0)),
+    ("adversarial_delay", lambda: configs.adversarial_delay(8, horizon=20.0)),
+    ("greedy_topology", lambda: configs.greedy_topology(8, horizon=20.0)),
+    ("combined_adversary", lambda: configs.combined_adversary(8, horizon=20.0)),
 ]
 
 
@@ -126,6 +136,46 @@ class TestChurnRef:
         with pytest.raises(KeyError, match="no_such_churn"):
             ChurnRef("no_such_churn", {})
 
+    def test_every_canned_churn_class_has_a_registered_builder(self):
+        # Every ChurnProcess a canned workload can produce (ScriptedChurn
+        # serializes as a concrete instance instead) must be reachable via
+        # CHURN_BUILDERS, or round-tripping its configs would be impossible.
+        assert {
+            "random_rewirer",
+            "edge_flapper",
+            "mobile_geometric",
+            "rotating_backbone",
+        } <= set(CHURN_BUILDERS)
+
+    def test_edge_flapper_ref_builds_and_roundtrips(self, params8, rng):
+        from repro.network.churn import EdgeFlapper
+
+        ref = ChurnRef(
+            "edge_flapper",
+            {"edges": [(0, 3), (2, 5)], "up": 4.0, "down": 3.0, "horizon": 30.0},
+        )
+        assert isinstance(ref(params8, rng), EdgeFlapper)
+        wire = json.loads(json.dumps(ref.to_dict()))
+        assert ChurnRef.from_dict(wire).to_dict() == ref.to_dict()
+
+    def test_mobile_geometric_ref_builds_and_roundtrips(self, params8, rng):
+        from repro.network.churn import MobileGeometricChurn
+
+        ref = ChurnRef(
+            "mobile_geometric",
+            {
+                "positions": [[0.1 * i, 0.1 * i] for i in range(8)],
+                "radius": 0.4,
+                "speed": 0.01,
+                "update_interval": 2.0,
+                "protected": path_edges(8),
+                "horizon": 30.0,
+            },
+        )
+        assert isinstance(ref(params8, rng), MobileGeometricChurn)
+        wire = json.loads(json.dumps(ref.to_dict()))
+        assert ChurnRef.from_dict(wire).to_dict() == ref.to_dict()
+
     def test_kwargs_canonicalised(self):
         ref = ChurnRef("edge_flapper", {"edges": [(0, 2)], "up": 3, "down": 2.0})
         assert ref.kwargs["edges"] == [[0, 2]]
@@ -142,3 +192,48 @@ class TestChurnRef:
     def test_jsonify_rejects_opaque_objects(self):
         with pytest.raises(SerializationError, match="object"):
             jsonify({"x": object()})
+
+
+class TestAdversaryRef:
+    def test_registered_builders_present(self):
+        assert {
+            "adaptive_drift",
+            "adaptive_delay",
+            "greedy_topology",
+            "combined",
+        } <= set(ADVERSARY_BUILDERS)
+
+    def test_adversary_field_roundtrips(self):
+        cfg = configs.greedy_topology(8, horizon=20.0)
+        d = cfg.to_dict()
+        assert d["adversary"]["kind"] == "ref"
+        cfg2 = roundtrip(cfg)
+        assert isinstance(cfg2.adversary, AdversaryRef)
+        assert cfg2.to_dict() == d
+
+    def test_no_adversary_serializes_as_null(self):
+        d = configs.static_path(4).to_dict()
+        assert d["adversary"] is None
+        assert roundtrip(configs.static_path(4)).adversary is None
+
+    def test_concrete_adversary_rejected_with_registry_hint(self):
+        from repro.adversary import DelayAdversary
+
+        cfg = configs.static_path(4)
+        cfg.adversary = DelayAdversary()
+        with pytest.raises(SerializationError, match="ADVERSARY_BUILDERS"):
+            cfg.to_dict()
+
+    def test_adversary_builder_callable_rejected(self):
+        from repro.adversary import DelayAdversary
+
+        cfg = configs.static_path(4)
+        cfg.adversary = lambda p, rng: DelayAdversary()
+        with pytest.raises(SerializationError, match="register_adversary"):
+            cfg.to_dict()
+
+    def test_unknown_adversary_entry_kind_rejected(self):
+        d = configs.static_path(4).to_dict()
+        d["adversary"] = {"kind": "mystery"}
+        with pytest.raises(ValueError, match="mystery"):
+            ExperimentConfig.from_dict(d)
