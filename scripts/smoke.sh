@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Sweep-subsystem smoke test: 4-config sweep on both backends + CLI round
-# trip against a throwaway store. Fast (~10 s); run after any change to
-# src/repro/sweep, the harness serialization layer, or the CLI.
+# Sweep + conformance smoke test: 4-config sweep on both backends, a CLI
+# round trip against a throwaway store (verified via machine-readable
+# JSON, not table scraping), and one `repro check` run under the
+# streaming oracle. Fast (~10 s); run after any change to src/repro/sweep,
+# src/repro/oracle, the harness serialization layer, or the CLI.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
@@ -12,11 +14,41 @@ python -m pytest tests/test_sweep_smoke.py -q
 echo "== CLI round trip =="
 store="$(mktemp -d)"
 trap 'rm -rf "$store"' EXIT
+
+assert_counts() {  # stdin: sweep --json output; argv: expected executed/cached
+    python -c '
+import json, sys
+expected_executed, expected_cached = int(sys.argv[1]), int(sys.argv[2])
+summary = json.load(sys.stdin)
+executed, cached = summary["executed"], summary["cached"]
+if (executed, cached) != (expected_executed, expected_cached):
+    sys.exit(f"FAIL: expected {expected_executed} executed / "
+             f"{expected_cached} cached, got {executed} / {cached}")
+' "$@"
+}
+
 python -m repro sweep static_ring --set n=6 horizon=20 --seeds 2 \
-    --processes 2 --store "$store" --quiet
+    --processes 2 --store "$store" --quiet --json | assert_counts 2 0
 python -m repro sweep static_ring --set n=6 horizon=20 --seeds 2 \
-    --store "$store" --quiet | grep -q "0 executed, 2 cached" \
-    || { echo "FAIL: rerun was not served from cache" >&2; exit 1; }
-python -m repro ls --store "$store"
+    --store "$store" --quiet --json | assert_counts 0 2
+
+python -m repro ls --store "$store" --json | python -c '
+import json, sys
+entries = json.load(sys.stdin)["entries"]
+if len(entries) != 2:
+    sys.exit(f"FAIL: expected 2 store entries, got {len(entries)}")
+'
+
+echo "== streaming conformance oracle =="
+python -m repro check static_ring --set n=6 horizon=20
+# A deliberately broken bound must exit with exactly 1 (violation
+# detected) -- not 2, which would mean the check itself errored out.
+status=0
+python -m repro check static_ring --set n=6 horizon=20 \
+    --bound-scale 0.01 > /dev/null || status=$?
+if [ "$status" -ne 1 ]; then
+    echo "FAIL: broken bound not detected (exit $status, expected 1)" >&2
+    exit 1
+fi
 
 echo "smoke OK"

@@ -16,9 +16,13 @@ Synchronization in Dynamic Networks* (SPAA 2009 / MIT-CSAIL-TR-2009-022):
 * :mod:`repro.adversary` -- adaptive drift/delay/topology adversaries and
   the T-interval connectivity certifier that keeps them legal;
 * :mod:`repro.analysis` -- skew recording, metrics and paper-style reports;
+* :mod:`repro.oracle` -- streaming conformance oracle: the theorems
+  checked online in O(n) memory, plus the differential baseline harness;
+* :mod:`repro.testing` -- the shared property-testing strategy library;
 * :mod:`repro.harness` -- one-call experiment runner and canned configs;
 * :mod:`repro.sweep` -- cached, parallel experiment sweeps (also via the
-  ``python -m repro`` CLI).
+  ``python -m repro`` CLI, whose ``check`` subcommand runs any workload
+  under full conformance monitoring).
 
 Quickstart::
 

@@ -1,15 +1,23 @@
 """Command-line interface: ``python -m repro`` (or the ``repro`` script).
 
-Four subcommands drive the sweep subsystem from the shell:
+Five subcommands drive the sweep and conformance subsystems from the shell:
 
 ``sweep WORKLOAD``
     Expand a named workload from :data:`repro.harness.configs.WORKLOADS`
     over ``--grid`` / ``--zip`` / ``--seeds`` axes, execute it (optionally
     in parallel) against the content-addressed result store, and print a
-    tidy metrics table.
+    tidy metrics table (``--json`` emits a machine-readable summary
+    instead).
+
+``check WORKLOAD``
+    Run one workload under the full streaming conformance oracle
+    (:mod:`repro.oracle`) with the recorder disabled, print the verdict
+    and exit nonzero on any violated theorem bound.  ``--fuzz N`` also
+    checks ``N`` randomly generated workloads from
+    :mod:`repro.testing.strategies`.
 
 ``ls``
-    List what the store already holds.
+    List what the store already holds (``--json`` for scripts).
 
 ``show PREFIX``
     Dump one stored entry (config + metrics) as JSON, addressed by any
@@ -60,6 +68,8 @@ __all__ = ["main"]
 
 #: Default store location (override with --store or REPRO_SWEEP_STORE).
 DEFAULT_STORE = ".sweep-cache"
+#: Violation records shown per `repro check` run (text and JSON output).
+CHECK_MAX_VIOLATIONS = 20
 #: Default prune target: the benchmarks' versioned store root.
 DEFAULT_PRUNE_ROOT = os.path.join("benchmarks", ".sweep-cache")
 
@@ -101,6 +111,19 @@ def _parse_assignment(item: str) -> tuple[str, list[Any]]:
     return key, parsed
 
 
+def _single_assignments(
+    items: list[str] | None, *, sweep_hint: str = ""
+) -> dict[str, Any]:
+    """Parse ``--set`` items into single-valued kwargs (shared by commands)."""
+    base = dict(_parse_assignment(item) for item in items or [])
+    for key, values in base.items():
+        if len(values) > 1:
+            raise argparse.ArgumentTypeError(
+                f"--set {key}= takes a single value{sweep_hint}"
+            )
+    return {k: v[0] for k, v in base.items()}
+
+
 def _axes_from_args(args: argparse.Namespace) -> list[Axis]:
     axes: list[Axis] = []
     for group in args.grid or []:
@@ -140,15 +163,14 @@ def _progress_printer(quiet: bool):
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.json and args.csv == "-":
+        # Validate before spending minutes simulating the sweep.
+        print("error: --csv - and --json both claim stdout", file=sys.stderr)
+        return 2
     try:
-        base = dict(_parse_assignment(item) for item in args.set or [])
-        for key, values in base.items():
-            if len(values) > 1:
-                raise argparse.ArgumentTypeError(
-                    f"--set {key}= takes a single value; to sweep over "
-                    f"{key} use --grid or --zip"
-                )
-        base_kwargs = {k: v[0] for k, v in base.items()}
+        base_kwargs = _single_assignments(
+            args.set, sweep_hint="; to sweep over it use --grid or --zip"
+        )
         spec = SweepSpec(args.workload, base=base_kwargs, axes=_axes_from_args(args))
     except (KeyError, TypeError, ValueError, argparse.ArgumentTypeError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -166,17 +188,33 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     elapsed = time.perf_counter() - t0
-    table = sweep_table(
-        result,
-        columns=args.columns or _TABLE_COLUMNS,
-        title=f"sweep {spec.label} ({len(result)} configs)",
-    )
-    print(table.render(), end="")
-    print(
-        f"{len(result)} configs: {result.executed_count} executed, "
-        f"{result.cached_count} cached, {elapsed:.2f}s wall, "
-        f"store {store.root}"
-    )
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "sweep": spec.label,
+                    "configs": len(result),
+                    "executed": result.executed_count,
+                    "cached": result.cached_count,
+                    "elapsed": elapsed,
+                    "store": str(store.root),
+                    "rows": tidy_rows(result),
+                },
+                sort_keys=True,
+            )
+        )
+    else:
+        table = sweep_table(
+            result,
+            columns=args.columns or _TABLE_COLUMNS,
+            title=f"sweep {spec.label} ({len(result)} configs)",
+        )
+        print(table.render(), end="")
+        print(
+            f"{len(result)} configs: {result.executed_count} executed, "
+            f"{result.cached_count} cached, {elapsed:.2f}s wall, "
+            f"store {store.root}"
+        )
     if args.csv:
         text = sweep_csv(result, columns=args.columns)
         if args.csv == "-":
@@ -184,15 +222,106 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         else:
             with open(args.csv, "w", encoding="utf-8") as fh:
                 fh.write(text)
-            print(f"wrote {args.csv}")
+            # Keep stdout pure JSON in --json mode.
+            print(f"wrote {args.csv}", file=sys.stderr if args.json else sys.stdout)
     return 0
+
+
+def _check_one(cfg, args: argparse.Namespace) -> tuple[bool, dict[str, Any]]:
+    """Run one config under full monitoring; returns (ok, summary dict)."""
+    from dataclasses import replace
+
+    from .harness.registry import OracleRef
+    from .harness.runner import run_experiment
+
+    oracle_kwargs: dict[str, Any] = {"bound_scale": args.bound_scale}
+    if args.monitors:
+        oracle_kwargs["monitors"] = list(args.monitors)
+    if args.interval is not None:
+        oracle_kwargs["interval"] = args.interval
+    # The recorder is deliberately off: checking is the oracle's job and
+    # must stay memory-bounded at any horizon.
+    cfg = replace(
+        cfg, record=False, track_edges=False, track_max_estimates=False,
+        oracle=OracleRef("standard", oracle_kwargs),
+    )
+    result = run_experiment(cfg)
+    report = result.oracle_report
+    shown = report.violations[:CHECK_MAX_VIOLATIONS]
+    lines = [v.describe() for v in shown]
+    hidden = report.violation_count - len(shown)
+    if hidden > 0:
+        lines.append(f"... and {hidden} more violations")
+    summary = {
+        "name": cfg.name or cfg.algorithm,
+        "ok": report.ok,
+        "checks": report.checks,
+        "violations": report.violation_count,
+        "worst_margin": report.worst_margin,
+        "violation_records": [v.to_dict() for v in shown],
+        "_lines": lines,
+    }
+    return report.ok, summary
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    factory = WORKLOADS.get(args.workload)
+    if factory is None:
+        print(
+            f"error: unknown workload {args.workload!r}; choose from "
+            f"{sorted(WORKLOADS)}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        cfg = factory(**_single_assignments(args.set))
+    except (KeyError, TypeError, ValueError, argparse.ArgumentTypeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    summaries = []
+    try:
+        ok, summary = _check_one(cfg, args)
+        summaries.append(summary)
+        all_ok = ok
+        if args.fuzz:
+            from .testing.strategies import fuzz_config
+
+            for i in range(args.fuzz):
+                fuzz_cfg = fuzz_config(args.fuzz_seed + i)
+                ok, summary = _check_one(fuzz_cfg, args)
+                summaries.append(summary)
+                all_ok = all_ok and ok
+    except Exception as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        for summary in summaries:
+            summary.pop("_lines")
+        print(json.dumps({"ok": all_ok, "runs": summaries}, sort_keys=True))
+    else:
+        for summary in summaries:
+            verdict = "OK" if summary["ok"] else "VIOLATED"
+            margin = summary["worst_margin"]
+            margin_txt = f"{margin:.6g}" if margin is not None else "n/a"
+            print(
+                f"{verdict}  {summary['name']}: {summary['checks']} checks, "
+                f"{summary['violations']} violations, worst margin {margin_txt}"
+            )
+            for line in summary["_lines"]:
+                print(f"  {line}")
+        verdict = "conformance OK" if all_ok else "conformance VIOLATED"
+        print(f"{verdict} ({len(summaries)} run{'s' if len(summaries) != 1 else ''})")
+    return 0 if all_ok else 1
 
 
 def _cmd_ls(args: argparse.Namespace) -> int:
     store = _store_from_args(args)
     entries = list(store.entries())
     if not entries:
-        print(f"store {store.root}: empty")
+        if args.json:
+            print(json.dumps({"store": str(store.root), "entries": []}))
+        else:
+            print(f"store {store.root}: empty")
         return 0
     rows = []
     for entry in entries:
@@ -208,6 +337,9 @@ def _cmd_ls(args: argparse.Namespace) -> int:
                 "max_global_skew": entry.get("metrics", {}).get("max_global_skew"),
             }
         )
+    if args.json:
+        print(json.dumps({"store": str(store.root), "entries": rows}, sort_keys=True))
+        return 0
     table = sweep_table(
         rows, title=f"store {store.root} ({len(entries)} entries)"
     )
@@ -317,9 +449,74 @@ def _build_parser() -> argparse.ArgumentParser:
         "--columns", metavar="COL", nargs="+", help="table/CSV columns to print"
     )
     p_sweep.add_argument("--quiet", action="store_true", help="suppress progress lines")
+    p_sweep.add_argument(
+        "--json",
+        action="store_true",
+        help="print a machine-readable JSON summary instead of the table",
+    )
     p_sweep.set_defaults(func=_cmd_sweep)
 
+    p_check = sub.add_parser(
+        "check",
+        help="run a workload under the streaming conformance oracle",
+        description=(
+            "Run one workload with every theorem monitor armed "
+            "(repro.oracle) and the recorder disabled; exits 1 if any "
+            "bound of the paper is violated. Workloads: "
+            + ", ".join(sorted(WORKLOADS))
+        ),
+    )
+    p_check.add_argument("workload", help="workload name (see --help for the list)")
+    p_check.add_argument(
+        "--set",
+        metavar="KEY=VALUE",
+        nargs="+",
+        action="extend",
+        help="workload arguments (e.g. --set n=32 horizon=600)",
+    )
+    p_check.add_argument(
+        "--monitors",
+        metavar="NAME",
+        nargs="+",
+        help="monitor subset (default: all; see repro.oracle.MONITOR_FACTORIES)",
+    )
+    p_check.add_argument(
+        "--interval",
+        type=float,
+        default=None,
+        metavar="T",
+        help="oracle sampling interval (default: the workload's sample_interval)",
+    )
+    p_check.add_argument(
+        "--bound-scale",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="scale every upper bound by S (S < 1 tightens; for testing)",
+    )
+    p_check.add_argument(
+        "--fuzz",
+        type=int,
+        default=0,
+        metavar="N",
+        help="additionally check N random workloads from repro.testing.strategies",
+    )
+    p_check.add_argument(
+        "--fuzz-seed",
+        type=int,
+        default=0,
+        metavar="S",
+        help="base seed for --fuzz workload generation",
+    )
+    p_check.add_argument(
+        "--json", action="store_true", help="print the verdicts as JSON"
+    )
+    p_check.set_defaults(func=_cmd_check)
+
     p_ls = sub.add_parser("ls", help="list cached sweep results")
+    p_ls.add_argument(
+        "--json", action="store_true", help="print the entries as JSON"
+    )
     p_ls.set_defaults(func=_cmd_ls)
 
     p_show = sub.add_parser("show", help="print one cached entry as JSON")

@@ -7,8 +7,10 @@ from .registry import (
     CLOCK_BUILDERS,
     DELAY_BUILDERS,
     DISCOVERY_BUILDERS,
+    ORACLE_BUILDERS,
     AdversaryRef,
     ChurnRef,
+    OracleRef,
     SerializationError,
 )
 from .runner import (
@@ -27,8 +29,10 @@ __all__ = [
     "CLOCK_BUILDERS",
     "DELAY_BUILDERS",
     "DISCOVERY_BUILDERS",
+    "ORACLE_BUILDERS",
     "AdversaryRef",
     "ChurnRef",
+    "OracleRef",
     "Experiment",
     "ExperimentConfig",
     "RunResult",

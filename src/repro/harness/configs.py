@@ -20,13 +20,14 @@ from ..network.topology import (
     two_chain_edges,
 )
 from ..params import SystemParams
-from .registry import AdversaryRef, ChurnRef
+from .registry import AdversaryRef, ChurnRef, OracleRef
 from .runner import ExperimentConfig
 
 __all__ = [
     "WORKLOADS",
     "static_path",
     "static_ring",
+    "large_ring",
     "static_grid",
     "backbone_churn",
     "rotating_backbone",
@@ -84,6 +85,42 @@ def static_ring(
         horizon=horizon,
         seed=seed,
         name=f"static_ring(n={n}, {algorithm})",
+    )
+
+
+def large_ring(
+    n: int = 64,
+    *,
+    horizon: float = 600.0,
+    seed: int = 0,
+    algorithm: str = "dcsa",
+    clock_spec: str = "random_walk",
+    sample_interval: float = 2.0,
+    record: bool = False,
+    oracle: bool = True,
+    b0: float | None = None,
+) -> ExperimentConfig:
+    """A long-horizon scale workload: big ring, no recorder, streaming oracle.
+
+    The regime the offline invariant suite cannot reach: the recorder's
+    O(samples x n) history is disabled and the run is checked online by
+    the :mod:`repro.oracle` monitors in O(n) state instead, so ``n`` and
+    ``horizon`` can grow freely.  ``record=True`` turns the recorder back
+    on (e.g. for online/offline agreement checks at small scale);
+    ``oracle=False`` yields a plain unchecked scale run.
+    """
+    return ExperimentConfig(
+        params=_params(n, b0),
+        initial_edges=ring_edges(n),
+        algorithm=algorithm,
+        clock_spec=clock_spec,
+        horizon=horizon,
+        sample_interval=sample_interval,
+        seed=seed,
+        track_edges=record,
+        record=record,
+        oracle=OracleRef("standard", {}) if oracle else None,
+        name=f"large_ring(n={n}, horizon={horizon}, {algorithm})",
     )
 
 
@@ -511,6 +548,7 @@ def combined_adversary(
 WORKLOADS = {
     "static_path": static_path,
     "static_ring": static_ring,
+    "large_ring": large_ring,
     "static_grid": static_grid,
     "backbone_churn": backbone_churn,
     "rotating_backbone": rotating_backbone,

@@ -15,7 +15,11 @@ registries below and is referenced by that name instead:
   builder callable;
 * :data:`ADVERSARY_BUILDERS` holds factories ``(params, rng, **kwargs) ->
   Adversary`` referenced through :class:`AdversaryRef`, the same pattern
-  for the adaptive adversaries of :mod:`repro.adversary`.
+  for the adaptive adversaries of :mod:`repro.adversary`;
+* :data:`ORACLE_BUILDERS` holds factories ``(params, rng, **kwargs) ->
+  StreamingOracle`` referenced through :class:`OracleRef`, so the streaming
+  conformance oracle of :mod:`repro.oracle` rides along in serializable
+  configs (and therefore in sweeps and worker processes).
 
 Register with the decorators::
 
@@ -47,6 +51,7 @@ from ..params import SystemParams
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..adversary.base import Adversary
+    from ..oracle.oracle import StreamingOracle
 
 __all__ = [
     "ADVERSARY_BUILDERS",
@@ -54,8 +59,10 @@ __all__ = [
     "CLOCK_BUILDERS",
     "DELAY_BUILDERS",
     "DISCOVERY_BUILDERS",
+    "ORACLE_BUILDERS",
     "AdversaryRef",
     "ChurnRef",
+    "OracleRef",
     "SerializationError",
     "jsonify",
     "register_adversary",
@@ -63,6 +70,7 @@ __all__ = [
     "register_clock",
     "register_delay",
     "register_discovery",
+    "register_oracle",
 ]
 
 
@@ -120,6 +128,8 @@ DISCOVERY_BUILDERS: dict[str, Callable[..., Any]] = {}
 CHURN_BUILDERS: dict[str, Callable[..., ChurnProcess]] = {}
 #: Adversary factories: name -> (params, rng, **kwargs) -> Adversary.
 ADVERSARY_BUILDERS: dict[str, Callable[..., "Adversary"]] = {}
+#: Oracle factories: name -> (params, rng, **kwargs) -> StreamingOracle.
+ORACLE_BUILDERS: dict[str, Callable[..., "StreamingOracle"]] = {}
 
 _F = TypeVar("_F", bound=Callable[..., Any])
 
@@ -157,6 +167,11 @@ def register_churn(name: str):
 def register_adversary(name: str):
     """Register a named adversary factory addressable via :class:`AdversaryRef`."""
     return _register(ADVERSARY_BUILDERS, "adversary", name)
+
+
+def register_oracle(name: str):
+    """Register a named oracle factory addressable via :class:`OracleRef`."""
+    return _register(ORACLE_BUILDERS, "oracle", name)
 
 
 # --------------------------------------------------------------------- #
@@ -243,6 +258,51 @@ class AdversaryRef:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "AdversaryRef":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(name=data["name"], kwargs=dict(data.get("kwargs", {})))
+
+
+# --------------------------------------------------------------------- #
+# OracleRef
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class OracleRef:
+    """A serializable reference to a registered oracle builder.
+
+    Mirrors :class:`AdversaryRef`: behaves like a builder callable
+    ``(params, rng) -> StreamingOracle`` so it slots into
+    ``ExperimentConfig.oracle``, while round-tripping through
+    :meth:`to_dict`/:meth:`from_dict` for hashing and multiprocessing.
+    """
+
+    name: str
+    kwargs: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.name not in ORACLE_BUILDERS:
+            raise KeyError(
+                f"unknown oracle builder {self.name!r}; registered: "
+                f"{sorted(ORACLE_BUILDERS)}"
+            )
+        object.__setattr__(
+            self,
+            "kwargs",
+            jsonify(self.kwargs, _context=f"OracleRef({self.name!r})"),
+        )
+
+    def __call__(
+        self, params: SystemParams, rng: np.random.Generator
+    ) -> "StreamingOracle":
+        return ORACLE_BUILDERS[self.name](params, rng, **self.kwargs)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data form: ``{"kind": "ref", "name": ..., "kwargs": ...}``."""
+        return {"kind": "ref", "name": self.name, "kwargs": self.kwargs}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "OracleRef":
         """Rebuild from :meth:`to_dict` output."""
         return cls(name=data["name"], kwargs=dict(data.get("kwargs", {})))
 
@@ -420,3 +480,39 @@ def _build_combined(
         if kwargs is not None:
             parts.append(ADVERSARY_BUILDERS[name](params, rng, **kwargs))
     return CombinedAdversary(parts)
+
+
+# --------------------------------------------------------------------- #
+# Built-in oracle builders
+# --------------------------------------------------------------------- #
+
+
+@register_oracle("standard")
+def _build_standard_oracle(
+    params: SystemParams,
+    rng: np.random.Generator,
+    *,
+    monitors: list[str] | None = None,
+    interval: float | None = None,
+    bound_scale: float = 1.0,
+    tolerance: float = 1e-9,
+    max_recorded: int = 100,
+) -> "StreamingOracle":
+    """The full streaming conformance oracle of :mod:`repro.oracle`.
+
+    ``monitors`` selects a subset of
+    :data:`~repro.oracle.monitors.MONITOR_FACTORIES` by name (default:
+    all); ``interval`` defaults to the run's ``sample_interval``;
+    ``bound_scale`` below 1 deliberately tightens every upper bound (used
+    by tests to prove violations surface).
+    """
+    from ..oracle.oracle import StreamingOracle
+
+    return StreamingOracle(
+        params,
+        monitors=monitors,
+        interval=interval,
+        bound_scale=bound_scale,
+        tolerance=tolerance,
+        max_recorded=max_recorded,
+    )

@@ -30,6 +30,7 @@ from ..network.churn import ChurnProcess, ScriptedChurn
 from ..network.discovery import ConstantDiscovery, DiscoveryPolicy, UniformDiscovery
 from ..network.graph import DynamicGraph
 from ..network.transport import Transport
+from ..oracle.oracle import OracleReport, StreamingOracle
 from ..params import SystemParams
 from ..sim.clocks import (
     HardwareClock,
@@ -47,6 +48,7 @@ from .registry import (
     DISCOVERY_BUILDERS,
     AdversaryRef,
     ChurnRef,
+    OracleRef,
     SerializationError,
     jsonify,
 )
@@ -74,6 +76,7 @@ DelaySpec = str | Callable[[SystemParams, np.random.Generator], DelayPolicy]
 DiscoverySpec = str | Callable[[SystemParams, np.random.Generator], DiscoveryPolicy]
 ChurnBuilder = Callable[[SystemParams, np.random.Generator], ChurnProcess]
 AdversaryBuilder = Callable[[SystemParams, np.random.Generator], Adversary]
+OracleBuilder = Callable[[SystemParams, np.random.Generator], StreamingOracle]
 
 
 @dataclass
@@ -122,6 +125,19 @@ class ExperimentConfig:
         Randomise each node's first tick within one tick interval.
     trace:
         Collect a structured event trace (slower; for tests/debugging).
+    record:
+        Install the :class:`~repro.analysis.recorder.SkewRecorder`.
+        Disable for long-horizon runs whose O(samples x n) history would
+        not fit in memory -- typically together with ``oracle`` so the run
+        stays checked; ``RunResult.record`` is then an empty record.
+    oracle:
+        Optional streaming conformance oracle (see :mod:`repro.oracle`):
+        a concrete :class:`~repro.oracle.oracle.StreamingOracle` or a
+        builder ``(params, rng) -> StreamingOracle`` -- use
+        :class:`~repro.harness.registry.OracleRef` for serializable
+        configs.  Installed at ``t = 0`` alongside the recorder; its
+        sampling interval defaults to ``sample_interval``; the final
+        report lands in ``RunResult.oracle_report``.
     name:
         Label carried into reports.
     """
@@ -141,6 +157,8 @@ class ExperimentConfig:
     track_max_estimates: bool = False
     stagger_ticks: bool = True
     trace: bool = False
+    record: bool = True
+    oracle: StreamingOracle | OracleBuilder | None = None
     name: str = ""
 
     # ------------------------------------------------------------------ #
@@ -179,6 +197,23 @@ class ExperimentConfig:
                     "ChurnRef(name, kwargs). ScriptedChurn and ChurnRef "
                     "entries serialize directly."
                 )
+        if self.oracle is None:
+            oracle_entry = None
+        elif isinstance(self.oracle, OracleRef):
+            oracle_entry = self.oracle.to_dict()
+        else:
+            what = (
+                f"oracle {type(self.oracle).__name__}"
+                if isinstance(self.oracle, StreamingOracle)
+                else "oracle builder callable "
+                f"{getattr(self.oracle, '__name__', self.oracle)!r}"
+            )
+            raise SerializationError(
+                f"cannot serialize {what}; register a factory in "
+                "repro.harness.registry.ORACLE_BUILDERS (via "
+                "@register_oracle(name)) and reference it as "
+                "OracleRef(name, kwargs)."
+            )
         if self.adversary is None:
             adversary_entry = None
         elif isinstance(self.adversary, AdversaryRef):
@@ -214,6 +249,8 @@ class ExperimentConfig:
             "track_max_estimates": bool(self.track_max_estimates),
             "stagger_ticks": bool(self.stagger_ticks),
             "trace": bool(self.trace),
+            "record": bool(self.record),
+            "oracle": oracle_entry,
             "name": self.name,
         }
 
@@ -247,6 +284,14 @@ class ExperimentConfig:
                     f"unknown adversary entry kind {adversary_entry.get('kind')!r}"
                 )
             adversary = AdversaryRef.from_dict(adversary_entry)
+        oracle: OracleRef | None = None
+        oracle_entry = data.pop("oracle", None)
+        if oracle_entry is not None:
+            if oracle_entry.get("kind") != "ref":
+                raise ValueError(
+                    f"unknown oracle entry kind {oracle_entry.get('kind')!r}"
+                )
+            oracle = OracleRef.from_dict(oracle_entry)
         known = {f.name for f in fields(cls)}
         unknown = sorted(set(data) - known)
         if unknown:
@@ -256,6 +301,7 @@ class ExperimentConfig:
             initial_edges=initial_edges,
             churn=churn,
             adversary=adversary,
+            oracle=oracle,
             **data,
         )
 
@@ -271,6 +317,7 @@ class RunResult:
     transport_stats: dict[str, int]
     events_dispatched: int
     trace: TraceRecorder | None = None
+    oracle_report: OracleReport | None = None
 
     @property
     def params(self) -> SystemParams:
@@ -297,10 +344,24 @@ class RunResult:
         lines = [
             f"run '{self.config.name or self.config.algorithm}': "
             f"n={p.n} algo={self.config.algorithm} horizon={self.config.horizon}",
-            f"  global skew: {self.max_global_skew:.3f}  (G(n) = {p.global_skew_bound:.3f})",
         ]
-        if self.config.track_edges:
+        if self.config.record:
+            lines.append(
+                f"  global skew: {self.max_global_skew:.3f}  "
+                f"(G(n) = {p.global_skew_bound:.3f})"
+            )
+        else:
+            lines.append(
+                f"  global skew: not recorded  (G(n) = {p.global_skew_bound:.3f})"
+            )
+        if self.config.track_edges and self.config.record:
             lines.append(f"  max edge skew: {self.max_local_skew:.3f}")
+        if self.oracle_report is not None:
+            rep = self.oracle_report
+            lines.append(
+                f"  oracle: {'OK' if rep.ok else 'VIOLATED'} "
+                f"({rep.checks} checks, {rep.violation_count} violations)"
+            )
         lines.append(
             f"  events: {self.events_dispatched}  messages: "
             f"{self.transport_stats['sent']} sent / "
@@ -442,17 +503,40 @@ class Experiment:
             )
             self.transport.register_node(i, node)
             self.nodes[i] = node
-        # 4. Recorder (subscribes to graph for edge episodes).
-        self.recorder = SkewRecorder(
-            self.sim,
-            self.graph,
-            self.nodes,
-            cfg.sample_interval,
-            track_edges=cfg.track_edges,
-            track_max_estimates=cfg.track_max_estimates,
-            end=cfg.horizon,
-        )
-        self.recorder.install()
+        # 4. Recorder (subscribes to graph for edge episodes); skipped for
+        #    unbounded-horizon runs that rely on the streaming oracle.
+        self.recorder: SkewRecorder | None = None
+        if cfg.record:
+            self.recorder = SkewRecorder(
+                self.sim,
+                self.graph,
+                self.nodes,
+                cfg.sample_interval,
+                track_edges=cfg.track_edges,
+                track_max_estimates=cfg.track_max_estimates,
+                end=cfg.horizon,
+            )
+            self.recorder.install()
+        # 4b. Streaming oracle (same vantage point as the recorder: it must
+        #     subscribe before churn seeds extra t=0 edges).  Its rng is
+        #     derived out of band, NOT via rngf.spawn: spawn order shifts
+        #     every later stream, and attaching a pure observer must not
+        #     change the execution it observes.
+        self.oracle: StreamingOracle | None = None
+        if cfg.oracle is not None:
+            orc = cfg.oracle
+            if not isinstance(orc, StreamingOracle):
+                orc = orc(params, np.random.default_rng(cfg.seed))
+            orc.install(
+                self.sim,
+                self.graph,
+                self.nodes,
+                interval=(
+                    orc.interval if orc.interval is not None else cfg.sample_interval
+                ),
+                end=cfg.horizon,
+            )
+            self.oracle = orc
         # 5. Announce E_0 *before* churn seeds extra t=0 edges (those get
         #    their discover events from the graph-event path instead).
         self.transport.announce_initial_edges()
@@ -479,14 +563,24 @@ class Experiment:
     def run(self) -> RunResult:
         """Run to the horizon and package the results."""
         self.sim.run_until(self.cfg.horizon)
+        if self.recorder is not None:
+            record = self.recorder.result()
+        else:
+            node_ids = sorted(self.nodes)
+            record = RunRecord(
+                node_ids=node_ids,
+                times=np.empty(0),
+                clocks=np.empty((0, len(node_ids))),
+            )
         return RunResult(
             config=self.cfg,
-            record=self.recorder.result(),
+            record=record,
             graph=self.graph,
             nodes=self.nodes,
             transport_stats=self.transport.stats.as_dict(),
             events_dispatched=self.sim.events_dispatched,
             trace=self.trace,
+            oracle_report=self.oracle.report() if self.oracle is not None else None,
         )
 
 

@@ -1,0 +1,234 @@
+"""Differential baseline harness: algorithms race on one frozen schedule.
+
+The paper's headline claims are *orderings*: the DCSA's local skew beats
+the max-algorithm's (which has no gradient property) while staying inside
+the same global envelope, and no algorithm can beat the Section 4 lower
+bounds.  Comparing algorithms is only meaningful when they face the *same*
+execution, so :func:`run_differential` freezes the environment:
+
+* **clocks** and **delays** must come from deterministic specs
+  (``split``/``alternating``/``perfect`` clocks; ``max``/``half``/``zero``
+  delays) -- randomized delays would be drawn in algorithm-dependent order;
+* the **topology schedule** is captured from a reference run and replayed
+  to every contender as a single :class:`~repro.network.churn.ScriptedChurn`
+  (so even rng-driven churn becomes one frozen event list);
+* adaptive adversaries are rejected -- they *react* to the algorithm, which
+  is the opposite of a controlled comparison (sweep them instead; the
+  ``tic_*``/``oracle_*`` metrics cover that regime).
+
+:meth:`DifferentialResult.check_ordering` then asserts the paper's
+relations on the outcomes and returns the list of failures (empty = all
+orderings hold).
+
+All harness imports are deferred to call time: :mod:`repro.harness` itself
+imports this package for the oracle wiring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+from ..core import skew_bounds
+from ..params import SystemParams
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..harness.runner import ExperimentConfig
+
+__all__ = [
+    "AlgorithmOutcome",
+    "DifferentialResult",
+    "differential_config",
+    "run_differential",
+]
+
+#: Clock specs whose rate assignment does not consume randomness.
+DETERMINISTIC_CLOCKS = frozenset({"perfect", "split", "alternating"})
+#: Delay specs that draw nothing per message.
+DETERMINISTIC_DELAYS = frozenset({"max", "half", "zero"})
+
+
+@dataclass(frozen=True)
+class AlgorithmOutcome:
+    """One contender's metrics on the frozen schedule."""
+
+    algorithm: str
+    max_global_skew: float
+    max_local_skew: float
+    jumps: int
+    envelope_compliant: bool
+    envelope_worst_ratio: float
+
+
+@dataclass
+class DifferentialResult:
+    """Outcomes of every contender on one frozen event schedule."""
+
+    params: SystemParams
+    horizon: float
+    outcomes: dict[str, AlgorithmOutcome] = field(default_factory=dict)
+    #: The frozen topology schedule replayed to every contender
+    #: (``(time, op, u, v)`` ScriptedChurn events, initial edges excluded).
+    schedule: list[tuple[float, str, int, int]] = field(default_factory=list)
+
+    def outcome(self, algorithm: str) -> AlgorithmOutcome:
+        """Metrics of one contender (raises ``KeyError`` if absent)."""
+        return self.outcomes[algorithm]
+
+    def check_ordering(self, *, tol: float = 1e-9) -> list[str]:
+        """Assert the paper's ordering relations; returns the failures.
+
+        * ``dcsa_le_max`` -- the gradient property's value: the DCSA's
+          local skew is no worse than the max-algorithm's (Section 1 /
+          the Section 6 comparison);
+        * ``dcsa_global_bound`` -- Theorem 6.9: the DCSA stays within
+          ``G(n)``;
+        * ``dcsa_envelope`` -- Corollary 6.13: the DCSA respects its own
+          dynamic envelope;
+        * ``dcsa_ge_masking_floor`` -- the Lemma 4.2 distance-1 floor
+          ``T/4``: no algorithm can hide adjacent skew below it once the
+          horizon passes the lemma's onset time (checked only then, and
+          only for schedules long enough for drift to accumulate).
+        """
+        failures: list[str] = []
+        dcsa = self.outcomes.get("dcsa")
+        if dcsa is None:
+            return ["no 'dcsa' outcome to order against"]
+        max_sync = self.outcomes.get("max")
+        if max_sync is not None and not (
+            dcsa.max_local_skew <= max_sync.max_local_skew + tol
+        ):
+            failures.append(
+                "dcsa_le_max: DCSA local skew "
+                f"{dcsa.max_local_skew:.6g} exceeds max-sync's "
+                f"{max_sync.max_local_skew:.6g}"
+            )
+        g = skew_bounds.global_skew_bound(self.params)
+        if not dcsa.max_global_skew <= g + tol:
+            failures.append(
+                "dcsa_global_bound: DCSA global skew "
+                f"{dcsa.max_global_skew:.6g} exceeds G(n) = {g:.6g}"
+            )
+        if not dcsa.envelope_compliant:
+            failures.append(
+                "dcsa_envelope: DCSA violated the dynamic envelope "
+                f"(worst ratio {dcsa.envelope_worst_ratio:.3f})"
+            )
+        floor = skew_bounds.masking_skew_floor(self.params, 1)
+        if self.horizon >= skew_bounds.masking_min_time(self.params, 1) and not (
+            dcsa.max_local_skew >= floor - tol
+        ):
+            failures.append(
+                "dcsa_ge_masking_floor: DCSA local skew "
+                f"{dcsa.max_local_skew:.6g} below the Lemma 4.2 floor "
+                f"{floor:.6g}"
+            )
+        return failures
+
+
+def differential_config(
+    n: int,
+    *,
+    rho: float = 0.05,
+    t_insert: float | None = None,
+    horizon: float | None = None,
+    seed: int = 0,
+) -> "ExperimentConfig":
+    """The canned differential scenario: worst-case path plus a shortcut.
+
+    A path under ``split`` extremal clocks and always-maximal delays (the
+    deterministic analogue of the Section 1 motivating run), with an
+    endpoint shortcut inserted once hop skews are established -- the
+    situation where the gradient/no-gradient separation is starkest.  The
+    default drift is the aggressive ``rho = 0.05`` so skews actually
+    accumulate; ``t_insert`` defaults past the Lemma 4.2 onset time so
+    the masking-floor ordering applies; ``horizon`` defaults to
+    ``t_insert`` plus the theoretical stabilization time.
+    """
+    from ..harness.runner import ExperimentConfig
+    from ..network.churn import ScriptedChurn
+    from ..network.topology import path_edges
+
+    params = SystemParams.for_network(n, rho=rho)
+    if t_insert is None:
+        t_insert = 1.1 * skew_bounds.masking_min_time(params, 1)
+    if horizon is None:
+        horizon = t_insert + skew_bounds.stabilization_time(params)
+    return ExperimentConfig(
+        params=params,
+        initial_edges=path_edges(n),
+        clock_spec="split",
+        delay_spec="max",
+        churn=[ScriptedChurn([(float(t_insert), "add", 0, n - 1)])],
+        horizon=float(horizon),
+        seed=seed,
+        name=f"differential(n={n})",
+    )
+
+
+def run_differential(
+    cfg: "ExperimentConfig",
+    algorithms: Sequence[str] = ("dcsa", "max", "static", "free"),
+) -> DifferentialResult:
+    """Run every algorithm on ``cfg``'s frozen event schedule.
+
+    ``cfg.algorithm`` names the *reference* contender whose run donates
+    the topology schedule; it is always included in the outcomes.  Raises
+    :class:`ValueError` when the config's environment cannot be frozen
+    (randomized clocks/delays or an adaptive adversary).
+    """
+    from dataclasses import replace
+
+    from ..analysis.metrics import envelope_violations
+    from ..harness.runner import run_experiment
+    from ..network.churn import ScriptedChurn
+    from ..network.graph import edge_key
+
+    if cfg.clock_spec not in DETERMINISTIC_CLOCKS:
+        raise ValueError(
+            f"differential runs need a deterministic clock spec "
+            f"{sorted(DETERMINISTIC_CLOCKS)}; got {cfg.clock_spec!r}"
+        )
+    if cfg.delay_spec not in DETERMINISTIC_DELAYS:
+        raise ValueError(
+            f"differential runs need a deterministic delay spec "
+            f"{sorted(DETERMINISTIC_DELAYS)}; got {cfg.delay_spec!r}"
+        )
+    if cfg.adversary is not None:
+        raise ValueError(
+            "differential runs cannot freeze an adaptive adversary; "
+            "compare adversarial runs through sweeps instead"
+        )
+
+    reference = run_experiment(replace(cfg, track_edges=True, record=True))
+    initial = {edge_key(u, v) for u, v in cfg.initial_edges}
+    schedule = [
+        (t, "add" if added else "remove", u, v)
+        for t, u, v, added in reference.graph.event_history()
+        if not (t == 0.0 and added and edge_key(u, v) in initial)
+    ]
+
+    contenders = list(dict.fromkeys([cfg.algorithm, *algorithms]))
+    result = DifferentialResult(
+        params=cfg.params, horizon=cfg.horizon, schedule=schedule
+    )
+    for algo in contenders:
+        frozen = replace(
+            cfg,
+            algorithm=algo,
+            churn=[ScriptedChurn(schedule)] if schedule else [],
+            track_edges=True,
+            record=True,
+            name=f"{cfg.name or 'differential'}[{algo}]",
+        )
+        run = run_experiment(frozen)
+        check = envelope_violations(run.record, cfg.params)
+        result.outcomes[algo] = AlgorithmOutcome(
+            algorithm=algo,
+            max_global_skew=run.max_global_skew,
+            max_local_skew=run.max_local_skew,
+            jumps=run.total_jumps(),
+            envelope_compliant=check.compliant,
+            envelope_worst_ratio=check.worst_ratio,
+        )
+    return result

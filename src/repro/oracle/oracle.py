@@ -1,0 +1,281 @@
+"""The streaming conformance oracle itself.
+
+:class:`StreamingOracle` is installed on a run exactly like the
+:class:`~repro.analysis.recorder.SkewRecorder` -- a periodic
+:data:`~repro.sim.events.PRIORITY_SAMPLE` callback plus a graph
+subscription -- but instead of accumulating history it feeds each sample to
+its :class:`~repro.oracle.monitors.Monitor` set and keeps only O(n)
+streaming state.  That makes runs with the recorder disabled and the
+oracle enabled memory-bounded regardless of horizon, which is the whole
+point: long-horizon, large-n executions become self-checking.
+
+Use through the harness (serializable config)::
+
+    cfg = ExperimentConfig(..., record=False,
+                           oracle=OracleRef("standard", {}))
+    result = run_experiment(cfg)
+    assert result.oracle_report.ok, result.oracle_report.render()
+
+or standalone on any simulator/graph/node wiring via :meth:`install`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+import numpy as np
+
+from ..network.graph import DynamicGraph
+from ..params import SystemParams
+from ..sim.simulator import Simulator
+from .monitors import MONITOR_FACTORIES, Monitor, MonitorSummary, Violation
+
+__all__ = ["OracleError", "OracleReport", "StreamingOracle"]
+
+
+class OracleError(RuntimeError):
+    """Raised on oracle misuse (unknown monitor, double install, ...)."""
+
+
+@dataclass(frozen=True)
+class OracleReport:
+    """Final verdict of a monitored run.
+
+    ``violations`` holds up to ``max_recorded`` structured records per
+    monitor (``violation_count`` counts them all); ``worst_margin`` is the
+    minimum slack in skew units across every check of every *bound-type*
+    monitor (global skew, estimate lag, envelope).  Floor monitors
+    (progress, Lmax dominance) are excluded from the aggregate -- their
+    slack is structurally ~0 on any compliant run, which would pin the
+    number and hide how close the run came to a real theorem bound; their
+    violations still flip ``ok``, and their own margins remain available
+    per monitor in :attr:`monitors`.
+    """
+
+    ok: bool
+    checks: int
+    violation_count: int
+    violations: tuple[Violation, ...]
+    worst_margin: float | None
+    monitors: dict[str, MonitorSummary] = field(default_factory=dict)
+
+    def monitor(self, name: str) -> MonitorSummary:
+        """Summary of one monitor (raises ``KeyError`` if not installed)."""
+        return self.monitors[name]
+
+    def to_metrics(self) -> dict[str, Any]:
+        """The flat ``oracle_*`` columns stored per sweep point."""
+        return {
+            "oracle_ok": self.ok,
+            "oracle_checks": self.checks,
+            "oracle_violations": self.violation_count,
+            "oracle_worst_margin": self.worst_margin,
+        }
+
+    def render(self, *, max_lines: int = 20) -> str:
+        """Multi-line human-readable report (CLI output)."""
+        verdict = "OK" if self.ok else "VIOLATED"
+        lines = [
+            f"oracle {verdict}: {self.checks} checks, "
+            f"{self.violation_count} violations"
+            + (
+                f", worst margin {self.worst_margin:.6g}"
+                if self.worst_margin is not None
+                else ""
+            )
+        ]
+        for name in sorted(self.monitors):
+            s = self.monitors[name]
+            margin = (
+                f"{s.worst_margin:.6g}" if s.worst_margin is not None else "n/a"
+            )
+            lines.append(
+                f"  {name}: {s.checks} checks, {s.violations} violations, "
+                f"worst margin {margin}"
+            )
+        shown = self.violations[:max_lines]
+        for v in shown:
+            lines.append("  " + v.describe())
+        hidden = self.violation_count - len(shown)
+        if hidden > 0:
+            lines.append(f"  ... and {hidden} more violations")
+        return "\n".join(lines)
+
+
+class StreamingOracle:
+    """Online checker of the paper's invariants with O(n) state.
+
+    Parameters
+    ----------
+    params:
+        The run's model parameters (source of every bound).
+    monitors:
+        Monitor names from
+        :data:`~repro.oracle.monitors.MONITOR_FACTORIES`, concrete
+        :class:`~repro.oracle.monitors.Monitor` instances, or ``None`` for
+        the full set.  Estimate-based monitors require nodes to expose
+        ``max_estimate`` (all :class:`~repro.core.node.ClockSyncNode`
+        subclasses do).
+    interval:
+        Sampling period; ``None`` defers to the installer (the harness
+        passes the config's ``sample_interval``).
+    bound_scale:
+        Multiplier on every upper bound -- values below 1 deliberately
+        break the bounds (see :mod:`repro.oracle.monitors`).
+    tolerance:
+        Slack beyond which a breach counts as a violation (matches the
+        offline suite's ``1e-9``).
+    max_recorded:
+        Violation records kept *per monitor*; further violations are
+        counted but not stored, keeping memory bounded even on
+        pathological runs.
+    """
+
+    def __init__(
+        self,
+        params: SystemParams,
+        monitors: Iterable[str | Monitor] | None = None,
+        *,
+        interval: float | None = None,
+        bound_scale: float = 1.0,
+        tolerance: float = 1e-9,
+        max_recorded: int = 100,
+    ) -> None:
+        if bound_scale <= 0.0:
+            raise OracleError(f"bound_scale must be positive; got {bound_scale!r}")
+        if max_recorded < 0:
+            raise OracleError(f"max_recorded must be >= 0; got {max_recorded!r}")
+        self.params = params
+        self.interval = interval
+        self.bound_scale = float(bound_scale)
+        self.tolerance = float(tolerance)
+        self.max_recorded = int(max_recorded)
+        self.monitors: list[Monitor] = []
+        names = set()
+        for m in MONITOR_FACTORIES if monitors is None else monitors:
+            monitor = self._resolve(m)
+            if monitor.name in names:
+                raise OracleError(f"duplicate monitor {monitor.name!r}")
+            names.add(monitor.name)
+            self.monitors.append(monitor)
+        if not self.monitors:
+            raise OracleError("an oracle needs at least one monitor")
+        self.samples_seen = 0
+        self._installed = False
+        self._nodes: dict[int, Any] = {}
+        self._node_ids: list[int] = []
+        self._needs_estimates = any(m.requires_estimates for m in self.monitors)
+        self._edge_monitors: list[Monitor] = []
+
+    @staticmethod
+    def _resolve(m: str | Monitor) -> Monitor:
+        if isinstance(m, Monitor):
+            return m
+        factory = MONITOR_FACTORIES.get(m)
+        if factory is None:
+            raise OracleError(
+                f"unknown monitor {m!r}; choose from {sorted(MONITOR_FACTORIES)}"
+            )
+        return factory()
+
+    # ------------------------------------------------------------------ #
+    # Wiring
+    # ------------------------------------------------------------------ #
+
+    def install(
+        self,
+        sim: Simulator,
+        graph: DynamicGraph,
+        nodes: Mapping[int, Any],
+        *,
+        interval: float | None = None,
+        end: float | None = None,
+    ) -> None:
+        """Arm periodic sampling and subscribe to graph events.
+
+        Must be called at ``t = 0`` (before any mutation the oracle should
+        see); edges already present are seeded as age-0 edges, matching
+        the recorder's episode convention.
+        """
+        if self._installed:
+            raise OracleError("oracle already installed")
+        self._installed = True
+        if interval is not None:
+            self.interval = interval
+        if self.interval is None or self.interval <= 0.0:
+            raise OracleError(
+                f"sampling interval must be positive; got {self.interval!r}"
+            )
+        self._nodes = dict(nodes)
+        self._node_ids = sorted(self._nodes)
+        for monitor in self.monitors:
+            monitor.bind(
+                self.params,
+                self._node_ids,
+                bound_scale=self.bound_scale,
+                tolerance=self.tolerance,
+                max_recorded=self.max_recorded,
+            )
+        self._edge_monitors = [m for m in self.monitors if m.tracks_edges]
+        if self._edge_monitors:
+            graph.subscribe(self._on_edge_event)
+            for u, v in graph.edges():
+                self._on_edge_event(0.0, u, v, True)
+        sim.every(self.interval, self._sample, end=end)
+
+    def _on_edge_event(self, time: float, u: int, v: int, added: bool) -> None:
+        for monitor in self._edge_monitors:
+            monitor.on_edge_event(time, u, v, added)
+
+    # ------------------------------------------------------------------ #
+    # Sampling
+    # ------------------------------------------------------------------ #
+
+    def _sample(self, t: float) -> None:
+        n = len(self._node_ids)
+        clocks = np.fromiter(
+            (self._nodes[i].logical_clock(t) for i in self._node_ids),
+            dtype=float,
+            count=n,
+        )
+        estimates = None
+        if self._needs_estimates:
+            estimates = np.fromiter(
+                (self._nodes[i].max_estimate(t) for i in self._node_ids),
+                dtype=float,
+                count=n,
+            )
+        for monitor in self.monitors:
+            monitor.on_sample(t, clocks, estimates)
+        self.samples_seen += 1
+
+    # ------------------------------------------------------------------ #
+    # Verdict
+    # ------------------------------------------------------------------ #
+
+    @property
+    def ok(self) -> bool:
+        """Whether no monitor has seen a violation so far."""
+        return all(m.violation_count == 0 for m in self.monitors)
+
+    def report(self) -> OracleReport:
+        """Freeze the current monitor state into an :class:`OracleReport`."""
+        summaries = {m.name: m.summary() for m in self.monitors}
+        violations: list[Violation] = []
+        for m in self.monitors:
+            violations.extend(m.violations)
+        violations.sort(key=lambda v: (v.time, v.monitor))
+        margins = [
+            float(m.worst_margin)
+            for m in self.monitors
+            if m.aggregate_margin and m.checks
+        ]
+        return OracleReport(
+            ok=self.ok,
+            checks=sum(m.checks for m in self.monitors),
+            violation_count=sum(m.violation_count for m in self.monitors),
+            violations=tuple(violations),
+            worst_margin=min(margins) if margins else None,
+            monitors=summaries,
+        )

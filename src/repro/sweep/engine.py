@@ -51,7 +51,9 @@ def summarize_run(result: RunResult) -> dict[str, Any]:
     """
     params = result.params
     metrics: dict[str, Any] = {
-        "max_global_skew": result.max_global_skew,
+        # None (not 0.0) when the recorder was disabled: the run has no
+        # sampled history, only the streaming oracle's verdict.
+        "max_global_skew": result.max_global_skew if result.config.record else None,
         "global_skew_bound": skew_bounds.global_skew_bound(params),
         "stable_local_skew_bound": skew_bounds.stable_local_skew(params),
         "events_dispatched": result.events_dispatched,
@@ -59,7 +61,7 @@ def summarize_run(result: RunResult) -> dict[str, Any]:
         "messages_delivered": result.transport_stats.get("delivered", 0),
         "jumps": result.total_jumps(),
     }
-    if result.config.track_edges:
+    if result.config.track_edges and result.config.record:
         check = envelope_violations(result.record, params)
         metrics.update(
             max_local_skew=result.max_local_skew,
@@ -95,6 +97,17 @@ def summarize_run(result: RunResult) -> dict[str, Any]:
     else:
         metrics.update(
             tic_interval=None, tic_ok=None, tic_windows=None, tic_violations=None
+        )
+    if result.oracle_report is not None:
+        # Streaming conformance verdict (see repro.oracle): pass/fail plus
+        # the worst slack against any theorem bound, per sweep point.
+        metrics.update(result.oracle_report.to_metrics())
+    else:
+        metrics.update(
+            oracle_ok=None,
+            oracle_checks=None,
+            oracle_violations=None,
+            oracle_worst_margin=None,
         )
     return metrics
 

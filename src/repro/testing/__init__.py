@@ -1,0 +1,21 @@
+"""Reusable property-testing toolkit for the reproduction.
+
+:mod:`repro.testing.strategies` is the single home of the workload
+generators that used to live ad hoc inside individual test files: graph
+topologies, model parameters, churn schedules, adversarial workloads,
+whole experiment configs and sweep specs.  The test suite, the
+``repro check --fuzz`` CLI and any future fuzzing harness all draw from
+the same vocabulary, so a generator improved once hardens every consumer.
+
+The module offers two layers:
+
+* plain ``fuzz_*`` functions driven by a seed -- importable anywhere,
+  no test-only dependencies;
+* `hypothesis <https://hypothesis.readthedocs.io>`_ strategies over the
+  same ingredient tables -- these require hypothesis (a test extra) and
+  raise a clear error when it is absent.
+"""
+
+from . import strategies
+
+__all__ = ["strategies"]

@@ -1,0 +1,361 @@
+"""Workload generators shared by tests, ``repro check --fuzz`` and fuzzers.
+
+Every generator here produces workloads that satisfy the premises of the
+paper's theorems, so the streaming oracle and the offline invariant suite
+are *expected to pass* on them: a spanning backbone (path or ring) is
+always kept alive, making every execution trivially
+:math:`(\\mathcal{T}+\\mathcal{D})`-interval connected; clock specs stay
+inside the drift envelope; adversaries are the model-respecting ones from
+:mod:`repro.adversary`.  A generated workload that fails a bound is
+therefore a *bug*, not a bad generator.
+
+Two layers over one ingredient vocabulary:
+
+* ``fuzz_config(seed)`` / ``fuzz_sweep_spec(seed)`` -- deterministic
+  seed-driven draws with no test-only dependencies (the ``repro check
+  --fuzz`` path);
+* hypothesis strategies (:func:`topologies`, :func:`system_params`,
+  :func:`churn_refs`, :func:`adversary_refs`, :func:`experiment_configs`,
+  :func:`sweep_specs`) -- full shrinking support for the test suite.
+
+Generated configs are deliberately small (n <= ``max_n``, short horizons)
+so property tests stay fast; scale testing is the job of the
+``large_ring`` workload, not the fuzzer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from ..harness.registry import AdversaryRef, ChurnRef
+from ..harness.runner import ExperimentConfig
+from ..network.topology import grid_edges, path_edges, ring_edges, star_edges
+from ..params import SystemParams
+
+try:  # hypothesis is a test extra; the fuzz_* layer must work without it.
+    from hypothesis import strategies as st
+
+    _HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - exercised only without test deps
+    st = None  # type: ignore[assignment]
+    _HAVE_HYPOTHESIS = False
+
+__all__ = [
+    "CLOCK_SPECS",
+    "DELAY_SPECS",
+    "TOPOLOGIES",
+    "adversary_refs",
+    "churn_refs",
+    "experiment_configs",
+    "fuzz_config",
+    "fuzz_sweep_spec",
+    "make_topology",
+    "sweep_specs",
+    "system_params",
+    "topologies",
+]
+
+Edge = tuple[int, int]
+
+# --------------------------------------------------------------------- #
+# Ingredient tables (shared by both layers)
+# --------------------------------------------------------------------- #
+
+#: Named connected topologies: name -> (n -> edge list).  Every entry
+#: doubles as the protected backbone when churn rides on top.
+TOPOLOGIES: dict[str, Callable[[int], list[Edge]]] = {
+    "path": path_edges,
+    "ring": lambda n: ring_edges(max(n, 3)),
+    "star": star_edges,
+    "grid": lambda n: grid_edges(2, (n + 1) // 2),
+}
+
+#: Clock specs safe for invariant checking (all stay within [1 +- rho]).
+CLOCK_SPECS: tuple[str, ...] = (
+    "split",
+    "alternating",
+    "random_walk",
+    "uniform",
+    "perfect",
+)
+
+#: Delay specs (all respect the bound T).
+DELAY_SPECS: tuple[str, ...] = ("uniform", "max", "half", "zero")
+
+#: Drift rates that keep SystemParams.validate() happy with the defaults.
+_RHO_CHOICES: tuple[float, ...] = (0.01, 0.02, 0.05)
+
+#: Workloads cheap enough to fuzz sweeps over (fast, serializable).
+_SWEEP_WORKLOADS: tuple[str, ...] = (
+    "static_path",
+    "static_ring",
+    "backbone_churn",
+    "adversarial_drift",
+)
+
+
+def make_topology(name: str, n: int) -> list[Edge]:
+    """Build a named topology for ``n`` nodes (grid sizes round up)."""
+    try:
+        maker = TOPOLOGIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown topology {name!r}; choose from {sorted(TOPOLOGIES)}"
+        ) from None
+    return maker(n)
+
+
+def _edge_count(name: str, n: int) -> int:
+    return len(make_topology(name, n))
+
+
+def _build_config(
+    *,
+    n: int,
+    topology: str,
+    clock_spec: str,
+    delay_spec: str,
+    churn: bool,
+    adversary: str | None,
+    horizon: float,
+    seed: int,
+) -> ExperimentConfig:
+    """Assemble one invariant-safe config from drawn ingredients."""
+    backbone = make_topology(topology, n)
+    n_actual = 1 + max(max(u, v) for u, v in backbone)
+    params = SystemParams.for_network(n_actual)
+    churn_procs: list[ChurnRef] = []
+    if churn:
+        churn_procs.append(
+            ChurnRef(
+                "random_rewirer",
+                {
+                    "n": n_actual,
+                    "k_extra": 2,
+                    "interval": 3.0,
+                    "protected": [[u, v] for u, v in backbone],
+                    "horizon": horizon,
+                },
+            )
+        )
+    adversary_ref: AdversaryRef | None = None
+    if adversary == "drift":
+        adversary_ref = AdversaryRef(
+            "adaptive_drift", {"period": 5.0, "strength": 1.0, "horizon": horizon}
+        )
+        clock_spec = "perfect"  # the drift adversary owns every rate
+    elif adversary == "delay":
+        adversary_ref = AdversaryRef("adaptive_delay", {})
+    elif adversary is not None:
+        raise ValueError(f"unknown adversary ingredient {adversary!r}")
+    return ExperimentConfig(
+        params=params,
+        initial_edges=backbone,
+        clock_spec=clock_spec,
+        delay_spec=delay_spec,
+        churn=churn_procs,
+        adversary=adversary_ref,
+        horizon=horizon,
+        sample_interval=2.0,
+        seed=seed,
+        name=f"fuzz({topology}, n={n_actual}, clock={clock_spec}"
+        + (", churn" if churn else "")
+        + (f", adversary={adversary}" if adversary else "")
+        + f", seed={seed})",
+    )
+
+
+# --------------------------------------------------------------------- #
+# Seed-driven layer (no hypothesis required)
+# --------------------------------------------------------------------- #
+
+
+def fuzz_config(
+    seed: int, *, max_n: int = 12, horizon: float = 60.0
+) -> ExperimentConfig:
+    """One random invariant-safe workload, fully determined by ``seed``."""
+    rng = np.random.default_rng(seed)
+    adversary = [None, None, "drift", "delay"][int(rng.integers(4))]
+    return _build_config(
+        n=int(rng.integers(4, max_n + 1)),
+        topology=list(TOPOLOGIES)[int(rng.integers(len(TOPOLOGIES)))],
+        clock_spec=CLOCK_SPECS[int(rng.integers(len(CLOCK_SPECS)))],
+        delay_spec=DELAY_SPECS[int(rng.integers(len(DELAY_SPECS)))],
+        churn=bool(rng.integers(2)),
+        adversary=adversary,
+        horizon=float(horizon),
+        seed=int(rng.integers(100_000)),
+    )
+
+
+def fuzz_sweep_spec(seed: int, *, max_points: int = 4):
+    """One random small :class:`~repro.sweep.spec.SweepSpec`.
+
+    Points are capped at ``max_points`` and every config is tiny, so a
+    fuzzed sweep (serial or pooled) finishes in seconds.
+    """
+    from ..sweep.spec import SweepSpec, grid, seeds
+
+    rng = np.random.default_rng(seed)
+    workload = _SWEEP_WORKLOADS[int(rng.integers(len(_SWEEP_WORKLOADS)))]
+    base: dict[str, Any] = {
+        "n": int(rng.integers(4, 7)),
+        "horizon": float(rng.integers(10, 26)),
+    }
+    n_seeds = int(rng.integers(1, max_points + 1))
+    axes = [seeds(n_seeds)]
+    if n_seeds * 2 <= max_points and rng.integers(2):
+        axes.append(grid(algorithm=["dcsa", "max"]))
+    return SweepSpec(workload, base=base, axes=axes)
+
+
+# --------------------------------------------------------------------- #
+# Hypothesis layer
+# --------------------------------------------------------------------- #
+
+
+def _require_hypothesis() -> None:
+    if not _HAVE_HYPOTHESIS:  # pragma: no cover - exercised without test deps
+        raise ImportError(
+            "repro.testing.strategies' hypothesis strategies need the "
+            "'hypothesis' package (pip extra: repro-gradient-clock-sync[test]); "
+            "the seed-driven fuzz_* functions work without it"
+        )
+
+
+def topologies(min_n: int = 4, max_n: int = 14):
+    """Strategy for ``(name, n, edges)`` over the named topology table."""
+    _require_hypothesis()
+    return st.tuples(
+        st.sampled_from(sorted(TOPOLOGIES)),
+        st.integers(min_value=min_n, max_value=max_n),
+    ).map(lambda t: (t[0], t[1], make_topology(t[0], t[1])))
+
+
+def system_params(min_n: int = 2, max_n: int = 32):
+    """Strategy for validated :class:`~repro.params.SystemParams`."""
+    _require_hypothesis()
+    return st.builds(
+        lambda n, rho, b0_scale: SystemParams.for_network(
+            n, rho=rho, b0_scale=b0_scale
+        ),
+        n=st.integers(min_value=min_n, max_value=max_n),
+        rho=st.sampled_from(_RHO_CHOICES),
+        b0_scale=st.sampled_from((0.5, 1.0, 2.0)),
+    )
+
+
+def churn_refs(n: int, horizon: float, backbone: Sequence[Edge]):
+    """Strategy for serializable churn riding on a protected backbone."""
+    _require_hypothesis()
+    protected = [[u, v] for u, v in backbone]
+    rewirer = st.builds(
+        lambda k, interval: ChurnRef(
+            "random_rewirer",
+            {
+                "n": n,
+                "k_extra": k,
+                "interval": interval,
+                "protected": protected,
+                "horizon": horizon,
+            },
+        ),
+        k=st.integers(min_value=1, max_value=4),
+        interval=st.sampled_from((2.0, 3.0, 5.0)),
+    )
+    taken = {(min(u, v), max(u, v)) for u, v in backbone}
+    chord = next(
+        (
+            [u, v]
+            for u in range(n)
+            for v in range(u + 2, n)
+            if (u, v) not in taken
+        ),
+        None,
+    )
+    if chord is None:  # dense backbone: nothing left to flap
+        return rewirer
+    flapper = st.builds(
+        lambda up, down: ChurnRef(
+            "edge_flapper",
+            {"edges": [chord], "up": up, "down": down, "horizon": horizon},
+        ),
+        up=st.sampled_from((6.0, 10.0)),
+        down=st.sampled_from((4.0, 8.0)),
+    )
+    return st.one_of(rewirer, flapper)
+
+
+def adversary_refs(horizon: float):
+    """Strategy for the freezable-by-sweep adaptive adversaries."""
+    _require_hypothesis()
+    drift = st.builds(
+        lambda period, strength: AdversaryRef(
+            "adaptive_drift",
+            {"period": period, "strength": strength, "horizon": horizon},
+        ),
+        period=st.sampled_from((3.0, 5.0, 8.0)),
+        strength=st.sampled_from((0.5, 1.0)),
+    )
+    delay = st.just(AdversaryRef("adaptive_delay", {}))
+    return st.one_of(drift, delay)
+
+
+def experiment_configs(
+    min_n: int = 4,
+    max_n: int = 12,
+    *,
+    horizon: float = 60.0,
+    churny: bool = True,
+    adversarial: bool = False,
+):
+    """Strategy for whole invariant-safe :class:`ExperimentConfig` draws.
+
+    The paper's premises always hold on the result (spanning backbone,
+    envelope-respecting clocks/adversaries), so every invariant of
+    Sections 3 and 6 -- and therefore the streaming oracle -- must pass.
+    """
+    _require_hypothesis()
+
+    @st.composite
+    def _configs(draw):
+        topology = draw(st.sampled_from(sorted(TOPOLOGIES)))
+        n = draw(st.integers(min_value=min_n, max_value=max_n))
+        adversary = None
+        if adversarial:
+            adversary = draw(st.sampled_from((None, "drift", "delay")))
+        return _build_config(
+            n=n,
+            topology=topology,
+            clock_spec=draw(st.sampled_from(CLOCK_SPECS)),
+            delay_spec=draw(st.sampled_from(DELAY_SPECS)),
+            churn=draw(st.booleans()) if churny else False,
+            adversary=adversary,
+            horizon=horizon,
+            seed=draw(st.integers(min_value=0, max_value=99_999)),
+        )
+
+    return _configs()
+
+
+def sweep_specs(max_points: int = 4):
+    """Strategy for small serializable sweep specs (backend-parity food)."""
+    _require_hypothesis()
+    from ..sweep.spec import SweepSpec, grid, seeds
+
+    @st.composite
+    def _specs(draw):
+        workload = draw(st.sampled_from(_SWEEP_WORKLOADS))
+        base = {
+            "n": draw(st.integers(min_value=4, max_value=6)),
+            "horizon": float(draw(st.integers(min_value=10, max_value=25))),
+        }
+        n_seeds = draw(st.integers(min_value=1, max_value=max_points))
+        axes = [seeds(n_seeds)]
+        if n_seeds * 2 <= max_points and draw(st.booleans()):
+            axes.append(grid(algorithm=["dcsa", "max"]))
+        return SweepSpec(workload, base=base, axes=axes)
+
+    return _specs()

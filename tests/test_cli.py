@@ -97,6 +97,102 @@ class TestSweep:
         assert "2 configs: 2 executed" in out
 
 
+class TestSweepJson:
+    def test_json_summary_replaces_table(self, capsys, store_dir):
+        code, out, _ = run_cli(capsys, *SWEEP_ARGS, "--store", store_dir, "--json")
+        assert code == 0
+        summary = json.loads(out)
+        assert summary["configs"] == 4
+        assert summary["executed"] == 4 and summary["cached"] == 0
+        assert len(summary["rows"]) == 4
+        assert "max_global_skew" in summary["rows"][0]
+
+    def test_json_reports_cache_hits_machine_readably(self, capsys, store_dir):
+        run_cli(capsys, *SWEEP_ARGS, "--store", store_dir)
+        code, out, _ = run_cli(capsys, *SWEEP_ARGS, "--store", store_dir, "--json")
+        assert code == 0
+        summary = json.loads(out)
+        assert summary["executed"] == 0 and summary["cached"] == 4
+
+    def test_json_still_writes_csv_file(self, capsys, store_dir, tmp_path):
+        csv_path = tmp_path / "rows.csv"
+        code, out, _ = run_cli(
+            capsys, *SWEEP_ARGS, "--store", store_dir, "--json", "--csv", str(csv_path)
+        )
+        assert code == 0
+        json.loads(out)  # stdout stays pure JSON
+        assert len(csv_path.read_text().strip().splitlines()) == 5
+
+    def test_json_and_csv_stdout_conflict(self, capsys, store_dir):
+        code, _, err = run_cli(
+            capsys, *SWEEP_ARGS, "--store", store_dir, "--json", "--csv", "-"
+        )
+        assert code == 2
+        assert "stdout" in err
+
+
+class TestCheck:
+    CHECK_ARGS = ("check", "static_path", "--set", "n=6", "horizon=20")
+
+    def test_conformant_workload_exits_zero(self, capsys):
+        code, out, _ = run_cli(capsys, *self.CHECK_ARGS)
+        assert code == 0
+        assert "conformance OK" in out
+
+    def test_broken_bound_exits_nonzero_with_structured_output(self, capsys):
+        code, out, _ = run_cli(capsys, *self.CHECK_ARGS, "--bound-scale", "0.01")
+        assert code == 1
+        assert "conformance VIOLATED" in out
+        assert "observed" in out and "bound" in out
+
+    def test_json_verdicts(self, capsys):
+        code, out, _ = run_cli(
+            capsys, *self.CHECK_ARGS, "--bound-scale", "0.01", "--json"
+        )
+        assert code == 1
+        verdict = json.loads(out)
+        assert verdict["ok"] is False
+        (run,) = verdict["runs"]
+        assert run["violations"] > 0
+        record = run["violation_records"][0]
+        assert {"monitor", "time", "nodes", "bound", "observed"} <= set(record)
+
+    def test_monitor_subset(self, capsys):
+        code, out, _ = run_cli(
+            capsys, *self.CHECK_ARGS, "--monitors", "global_skew", "--json"
+        )
+        assert code == 0
+        (run,) = json.loads(out)["runs"]
+        assert run["ok"] is True and run["checks"] > 0
+
+    def test_fuzz_checks_generated_workloads(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "check",
+            "static_ring",
+            "--set",
+            "n=5",
+            "horizon=10",
+            "--fuzz",
+            "2",
+            "--json",
+        )
+        assert code == 0
+        verdict = json.loads(out)
+        assert len(verdict["runs"]) == 3
+        assert all(r["ok"] for r in verdict["runs"])
+
+    def test_unknown_workload_exits_two(self, capsys):
+        code, _, err = run_cli(capsys, "check", "nope")
+        assert code == 2
+        assert "unknown workload" in err
+
+    def test_bad_set_value_exits_two(self, capsys):
+        code, _, err = run_cli(capsys, "check", "static_path", "--set", "bogus_kw=1")
+        assert code == 2
+        assert "error" in err
+
+
 class TestLsShow:
     def test_ls_empty(self, capsys, store_dir):
         code, out, _ = run_cli(capsys, "ls", "--store", store_dir)
@@ -108,6 +204,19 @@ class TestLsShow:
         code, out, _ = run_cli(capsys, "ls", "--store", store_dir)
         assert code == 0
         assert "4 entries" in out
+
+    def test_ls_json_empty_and_populated(self, capsys, store_dir):
+        code, out, _ = run_cli(capsys, "ls", "--store", store_dir, "--json")
+        assert code == 0
+        assert json.loads(out)["entries"] == []
+        run_cli(capsys, *SWEEP_ARGS, "--store", store_dir)
+        code, out, _ = run_cli(capsys, "ls", "--store", store_dir, "--json")
+        assert code == 0
+        listing = json.loads(out)
+        assert len(listing["entries"]) == 4
+        assert {"hash", "name", "seed", "max_global_skew"} <= set(
+            listing["entries"][0]
+        )
 
     def test_show_by_unambiguous_prefix(self, capsys, store_dir):
         run_cli(capsys, *SWEEP_ARGS, "--store", store_dir)

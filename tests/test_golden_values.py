@@ -1,0 +1,69 @@
+"""Golden-value regression pins for the core algorithm.
+
+Three canned workloads with fixed seeds must reproduce these exact
+metrics.  The simulation is fully deterministic (seeded RNG streams,
+priority-ordered event queue), so *any* drift here means the core
+algorithm, the event ordering, or an RNG stream changed behaviour --
+silently, if no functional test happened to cover it.  If a change is
+intentional, re-pin the values and say why in the commit message.
+
+Values were produced by ``run_experiment`` on the configs below; re-derive
+with::
+
+    PYTHONPATH=src python -c "
+    from repro.harness import configs
+    from repro.harness.runner import run_experiment
+    res = run_experiment(configs.static_path(8, horizon=60.0, seed=3))
+    print(res.max_global_skew, res.max_local_skew, res.total_jumps())"
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import configs
+from repro.harness.runner import run_experiment
+
+#: (workload id, config factory, max_global_skew, max_local_skew, jumps)
+GOLDEN = [
+    (
+        "static_path",
+        lambda: configs.static_path(8, horizon=60.0, seed=3),
+        0.7961767536525315,
+        0.46151843494374845,
+        38,
+    ),
+    (
+        "backbone_churn",
+        lambda: configs.backbone_churn(8, horizon=60.0, seed=5),
+        0.31793387974983034,
+        0.31793387974983034,
+        62,
+    ),
+    (
+        "adversarial_drift",
+        lambda: configs.adversarial_drift(8, horizon=60.0, seed=7),
+        0.6600000000000108,
+        0.4814911541675997,
+        35,
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "name,make,global_skew,local_skew,jumps", GOLDEN, ids=[g[0] for g in GOLDEN]
+)
+def test_golden_metrics_are_stable(name, make, global_skew, local_skew, jumps):
+    res = run_experiment(make())
+    assert res.max_global_skew == pytest.approx(global_skew, rel=1e-12, abs=1e-12)
+    assert res.max_local_skew == pytest.approx(local_skew, rel=1e-12, abs=1e-12)
+    assert res.total_jumps() == jumps
+
+
+def test_golden_runs_are_rerun_stable():
+    """The same config twice in one process gives bit-identical metrics."""
+    make = GOLDEN[0][1]
+    a, b = run_experiment(make()), run_experiment(make())
+    assert a.max_global_skew == b.max_global_skew
+    assert a.max_local_skew == b.max_local_skew
+    assert a.total_jumps() == b.total_jumps()

@@ -20,13 +20,13 @@ from __future__ import annotations
 import numpy as np
 import pytest
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro import SystemParams
 from repro.analysis import envelope_violations, max_estimate_lag, max_global_skew
 from repro.core import skew_bounds as sb
-from repro.harness import ExperimentConfig, configs, run_experiment
-from repro.network.topology import path_edges, ring_edges
+from repro.harness import OracleRef, configs, run_experiment
+from repro.network.topology import path_edges
+from repro.testing.strategies import experiment_configs
 
 
 def check_rate_floor(record, *, floor=0.5, tol=1e-9):
@@ -206,36 +206,21 @@ class TestGradientProperty:
 
 
 @settings(max_examples=12, deadline=None)
-@given(
-    n=st.integers(min_value=4, max_value=14),
-    seed=st.integers(min_value=0, max_value=99999),
-    topology=st.sampled_from(["path", "ring"]),
-    clock=st.sampled_from(["split", "alternating", "random_walk", "uniform"]),
-    churny=st.booleans(),
-)
-def test_property_full_bundle_random_workloads(n, seed, topology, clock, churny):
-    """Random workload sweep: every invariant holds on every execution."""
-    params = SystemParams.for_network(n)
-    edges = path_edges(n) if topology == "path" else ring_edges(max(n, 3))
-    churn = []
-    if churny:
-        from repro.network.churn import RandomRewirer
+@given(cfg=experiment_configs(4, 14, horizon=60.0, adversarial=True))
+def test_property_full_bundle_random_workloads(cfg):
+    """Random workload sweep: every invariant holds on every execution.
 
-        def build(p, rng, edges=edges):
-            return RandomRewirer(p.n, 2, 3.0, rng, protected=edges, horizon=60.0)
-
-        churn = [build]
-    cfg = ExperimentConfig(
-        params=params,
-        initial_edges=edges,
-        clock_spec=clock,
-        churn=churn,
-        horizon=60.0,
-        sample_interval=2.0,
-        seed=seed,
-    )
+    Workloads come from the shared strategy library
+    (:mod:`repro.testing.strategies`), which spans more topologies, clock
+    specs and adversaries than the old inline generator -- and the
+    streaming oracle rides along as a second, online checker whose verdict
+    must agree with the offline assertions below.
+    """
+    cfg.oracle = OracleRef("standard", {})
     res = run_experiment(cfg)
+    params = cfg.params
     check_monotone(res.record)
     check_rate_floor(res.record)
     assert max_global_skew(res.record) <= sb.global_skew_bound(params) + 1e-9
     assert envelope_violations(res.record, params).compliant
+    assert res.oracle_report.ok, res.oracle_report.render()

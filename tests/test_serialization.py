@@ -17,10 +17,16 @@ from repro.harness import (
     AdversaryRef,
     ChurnRef,
     ExperimentConfig,
+    OracleRef,
     SerializationError,
     configs,
 )
-from repro.harness.registry import ADVERSARY_BUILDERS, CHURN_BUILDERS, jsonify
+from repro.harness.registry import (
+    ADVERSARY_BUILDERS,
+    CHURN_BUILDERS,
+    ORACLE_BUILDERS,
+    jsonify,
+)
 from repro.network.churn import RandomRewirer, ScriptedChurn
 from repro.network.topology import path_edges
 
@@ -54,6 +60,7 @@ class TestSystemParams:
 CANNED = [
     ("static_path", lambda: configs.static_path(8, horizon=20.0)),
     ("static_ring", lambda: configs.static_ring(8, horizon=20.0)),
+    ("large_ring", lambda: configs.large_ring(8, horizon=20.0)),
     ("static_grid", lambda: configs.static_grid(2, 4, horizon=20.0)),
     ("backbone_churn", lambda: configs.backbone_churn(8, horizon=20.0)),
     ("rotating_backbone", lambda: configs.rotating_backbone(8, horizon=50.0, window=12.0)),
@@ -235,5 +242,59 @@ class TestAdversaryRef:
     def test_unknown_adversary_entry_kind_rejected(self):
         d = configs.static_path(4).to_dict()
         d["adversary"] = {"kind": "mystery"}
+        with pytest.raises(ValueError, match="mystery"):
+            ExperimentConfig.from_dict(d)
+
+
+class TestOracleRef:
+    def test_standard_builder_registered(self):
+        assert "standard" in ORACLE_BUILDERS
+
+    def test_unknown_name_rejected_eagerly(self):
+        with pytest.raises(KeyError, match="no_such_oracle"):
+            OracleRef("no_such_oracle", {})
+
+    def test_oracle_field_roundtrips(self):
+        cfg = configs.static_path(4)
+        cfg.oracle = OracleRef("standard", {"bound_scale": 0.5, "monitors": ["progress"]})
+        cfg.record = False
+        d = cfg.to_dict()
+        assert d["oracle"]["kind"] == "ref" and d["record"] is False
+        cfg2 = roundtrip(cfg)
+        assert isinstance(cfg2.oracle, OracleRef)
+        assert cfg2.record is False
+        assert cfg2.to_dict() == d
+
+    def test_ref_is_a_working_builder(self, params8, rng):
+        from repro.oracle import StreamingOracle
+
+        oracle = OracleRef("standard", {"monitors": ["global_skew"]})(params8, rng)
+        assert isinstance(oracle, StreamingOracle)
+        assert [m.name for m in oracle.monitors] == ["global_skew"]
+
+    def test_no_oracle_serializes_as_null(self):
+        d = configs.static_path(4).to_dict()
+        assert d["oracle"] is None and d["record"] is True
+        assert roundtrip(configs.static_path(4)).oracle is None
+
+    def test_concrete_oracle_rejected_with_registry_hint(self):
+        from repro.oracle import StreamingOracle
+
+        cfg = configs.static_path(4)
+        cfg.oracle = StreamingOracle(cfg.params, interval=1.0)
+        with pytest.raises(SerializationError, match="ORACLE_BUILDERS"):
+            cfg.to_dict()
+
+    def test_oracle_builder_callable_rejected(self):
+        from repro.oracle import StreamingOracle
+
+        cfg = configs.static_path(4)
+        cfg.oracle = lambda p, rng: StreamingOracle(p, interval=1.0)
+        with pytest.raises(SerializationError, match="register_oracle"):
+            cfg.to_dict()
+
+    def test_unknown_oracle_entry_kind_rejected(self):
+        d = configs.static_path(4).to_dict()
+        d["oracle"] = {"kind": "mystery"}
         with pytest.raises(ValueError, match="mystery"):
             ExperimentConfig.from_dict(d)
