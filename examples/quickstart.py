@@ -3,9 +3,10 @@
 
 Runs the paper's dynamic gradient clock synchronization algorithm (DCSA) on
 a 12-node ring whose chordal edges are randomly rewired while the run is in
-progress, prints the skew summary against the proven bounds, then sweeps
-the same workload over sizes and seeds in parallel through the cached
-sweep engine (docs/sweeps.md).
+progress, prints the skew summary against the proven bounds, sweeps the
+same workload over sizes and seeds in parallel through the cached sweep
+engine (docs/sweeps.md), and finishes with a real-time asyncio session of
+the same algorithm under the live runtime (docs/live.md).
 
 Usage::
 
@@ -89,6 +90,17 @@ def main(seed: int = 0) -> None:
             title="sweep: global/local skew vs proven bounds",
         ).render()
     )
+
+    # Everything above ran inside the discrete-event simulator. The same
+    # algorithm cores also run *in real time* -- concurrent asyncio tasks,
+    # wall clocks with artificial drift, loopback or UDP channels -- with
+    # the streaming conformance oracle attached online (docs/live.md):
+    print()
+    print("live asyncio session (1.5 s wall clock, oracle attached) ...")
+    live = run_experiment(configs.live_ring(8, duration=1.5, seed=seed))
+    print(live.summary())
+    # Shell equivalent:  python -m repro live --workload live_ring \
+    #     --duration 2 --json
 
 
 if __name__ == "__main__":

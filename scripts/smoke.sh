@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# Sweep + conformance smoke test: 4-config sweep on both backends, a CLI
-# round trip against a throwaway store (verified via machine-readable
-# JSON, not table scraping), and one `repro check` run under the
-# streaming oracle. Fast (~10 s); run after any change to src/repro/sweep,
-# src/repro/oracle, the harness serialization layer, or the CLI.
+# Sweep + conformance + live smoke test: 4-config sweep on both backends,
+# a CLI round trip against a throwaway store (verified via machine-readable
+# JSON, not table scraping), a short deterministic `repro live` session,
+# and one `repro check` run under the streaming oracle. Fast (~12 s); run
+# after any change to src/repro/sweep, src/repro/oracle, src/repro/live,
+# the harness serialization layer, or the CLI.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
@@ -37,6 +38,19 @@ import json, sys
 entries = json.load(sys.stdin)["entries"]
 if len(entries) != 2:
     sys.exit(f"FAIL: expected 2 store entries, got {len(entries)}")
+'
+
+echo "== live asyncio runtime =="
+# A short deterministic in-process session (loopback channel, zero
+# jitter); the verdict is asserted from the machine-readable summary.
+python -m repro live --workload live_ring --duration 1 \
+    --set sample_interval=0.2 --json | python -c '
+import json, sys
+summary = json.load(sys.stdin)
+if summary["oracle_ok"] is not True:
+    sys.exit(f"FAIL: live oracle not ok: {summary}")
+if summary["messages_delivered"] <= 0:
+    sys.exit(f"FAIL: live session moved no messages: {summary}")
 '
 
 echo "== streaming conformance oracle =="

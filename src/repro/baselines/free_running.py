@@ -6,13 +6,18 @@ skew grow linearly in time without bound.  This calibrates plots (how bad is
 "doing nothing") and validates the measurement pipeline: the measured drift
 of this baseline must match ``2 rho t`` exactly when clocks are pinned at
 the drift extremes.
+
+The (empty) algorithm lives in
+:class:`~repro.core.protocol.FreeRunningCore`; :class:`FreeRunningNode` is
+its simulation-driver shell.
 """
 
 from __future__ import annotations
 
-from typing import Any
+from typing import ClassVar
 
 from ..core.node import ClockSyncNode
+from ..core.protocol import FreeRunningCore, ProtocolCore
 
 __all__ = ["FreeRunningNode"]
 
@@ -20,17 +25,5 @@ __all__ = ["FreeRunningNode"]
 class FreeRunningNode(ClockSyncNode):
     """A node whose logical clock is its hardware clock; sends nothing."""
 
-    def start(self) -> None:
-        """Nothing to schedule."""
-
-    def _handle_message(self, sender: int, payload: Any) -> None:
-        """Ignore messages."""
-
-    def _handle_discover_add(self, other: int) -> None:
-        """Ignore discoveries."""
-
-    def _handle_discover_remove(self, other: int) -> None:
-        """Ignore discoveries."""
-
-    def _on_timer(self, key: Any) -> None:  # pragma: no cover - never armed
-        raise RuntimeError("free-running node has no timers")
+    core_class: ClassVar[type[ProtocolCore] | None] = FreeRunningCore
+    core: FreeRunningCore

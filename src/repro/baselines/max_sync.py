@@ -12,17 +12,20 @@ and a node whose updates were delayed.
 In the benchmark comparisons this baseline calibrates what "no gradient
 guarantee" costs: its worst-case *local* skew grows linearly in ``n``
 (tracking global skew) while the DCSA's stays near ``B_0``.
+
+The algorithm lives in :class:`~repro.core.protocol.MaxSyncCore` (sans-IO,
+also runnable under :mod:`repro.live`); :class:`MaxSyncNode` is its
+simulation-driver shell.
 """
 
 from __future__ import annotations
 
-from typing import Any
+from typing import ClassVar
 
 from ..core.node import ClockSyncNode
+from ..core.protocol import MaxSyncCore, ProtocolCore
 
 __all__ = ["MaxSyncNode"]
-
-_TICK = "tick"
 
 
 class MaxSyncNode(ClockSyncNode):
@@ -34,33 +37,10 @@ class MaxSyncNode(ClockSyncNode):
     differs.
     """
 
-    def __init__(self, *args: Any, tick_stagger: float = 0.0, **kwargs: Any) -> None:
-        super().__init__(*args, **kwargs)
-        self.upsilon: set[int] = set()
-        self._tick_stagger = float(tick_stagger)
+    core_class: ClassVar[type[ProtocolCore] | None] = MaxSyncCore
+    core: MaxSyncCore
 
-    def start(self) -> None:
-        """Arm the first tick."""
-        self.set_subjective_timer(_TICK, self._tick_stagger)
-
-    def _handle_discover_add(self, v: int) -> None:
-        self.send(v, (self._L, self._Lmax))
-        self.upsilon.add(v)
-        self._jump_logical(self._Lmax)
-
-    def _handle_discover_remove(self, v: int) -> None:
-        self.upsilon.discard(v)
-
-    def _handle_message(self, v: int, payload: tuple[float, float]) -> None:
-        _l_v, lmax_v = payload
-        self._raise_max(lmax_v)
-        self._jump_logical(self._Lmax)
-
-    def _on_timer(self, key: Any) -> None:
-        if key != _TICK:  # pragma: no cover - defensive
-            raise RuntimeError(f"unknown timer {key!r}")
-        payload = (self._L, self._Lmax)
-        for v in sorted(self.upsilon):
-            self.send(v, payload)
-        self._jump_logical(self._Lmax)
-        self.set_subjective_timer(_TICK, self.params.tick_interval)
+    @property
+    def upsilon(self) -> set[int]:
+        """Nodes this node believes it shares an edge with."""
+        return self.core.upsilon

@@ -18,13 +18,18 @@ The comparison benchmarks quantify both effects: contract-violation
 magnitude/duration on new edges, and blocked-time statistics.  On *static*
 networks this node behaves like the original [13] algorithm and its local
 skew stays near ``B_0`` -- which the static-network integration tests check.
+
+The algorithm lives in :class:`~repro.core.protocol.StaticGradientCore`
+(the DCSA core with a constant tolerance); :class:`StaticGradientNode` is
+its simulation-driver shell.
 """
 
 from __future__ import annotations
 
-from typing import Any
+from typing import ClassVar
 
 from ..core.dcsa import DCSANode
+from ..core.protocol import ProtocolCore, StaticGradientCore
 
 __all__ = ["StaticGradientNode"]
 
@@ -37,17 +42,5 @@ class StaticGradientNode(DCSANode):
     attributable purely to the shape of ``B``.
     """
 
-    def tolerance(self, v: int) -> float | None:
-        """Constant ``B_0`` for tracked neighbours (``None`` otherwise)."""
-        if v in self.gamma:
-            return self.params.b0
-        return None
-
-    def _adjust_clock(self) -> None:
-        ceiling = self._Lmax
-        b0 = self.params.b0
-        for _v, row in self.gamma.items():
-            cand = row.l_est + b0
-            if cand < ceiling:
-                ceiling = cand
-        self._jump_logical(ceiling)
+    core_class: ClassVar[type[ProtocolCore] | None] = StaticGradientCore
+    core: StaticGradientCore

@@ -1,6 +1,7 @@
 """Command-line interface: ``python -m repro`` (or the ``repro`` script).
 
-Five subcommands drive the sweep and conformance subsystems from the shell:
+Six subcommands drive the sweep, conformance and live subsystems from the
+shell (plus ``--version``):
 
 ``sweep WORKLOAD``
     Expand a named workload from :data:`repro.harness.configs.WORKLOADS`
@@ -15,6 +16,13 @@ Five subcommands drive the sweep and conformance subsystems from the shell:
     and exit nonzero on any violated theorem bound.  ``--fuzz N`` also
     checks ``N`` randomly generated workloads from
     :mod:`repro.testing.strategies`.
+
+``live``
+    Run a ``live_*`` workload as a real wall-clock asyncio session
+    (:mod:`repro.live`): concurrent node tasks, loopback or UDP channels,
+    artificial drift, the streaming oracle attached online.
+    ``--duration`` caps the session in seconds; exits 1 if any bound of
+    the paper is violated; ``--json`` prints a summary with ``oracle_ok``.
 
 ``ls``
     List what the store already holds (``--json`` for scripts).
@@ -314,6 +322,69 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 0 if all_ok else 1
 
 
+def _cmd_live(args: argparse.Namespace) -> int:
+    from .harness.registry import RuntimeRef
+    from .harness.runner import run_experiment
+
+    factory = WORKLOADS.get(args.workload)
+    if factory is None:
+        live_names = sorted(w for w in WORKLOADS if w.startswith("live_"))
+        print(
+            f"error: unknown workload {args.workload!r}; live workloads: "
+            f"{live_names}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        kwargs = _single_assignments(args.set)
+        if args.duration is not None:
+            kwargs["duration"] = args.duration
+        cfg = factory(**kwargs)
+    except (KeyError, TypeError, ValueError, argparse.ArgumentTypeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    runtime = cfg.runtime
+    if not (isinstance(runtime, RuntimeRef) and runtime.name == "live"):
+        print(
+            f"error: workload {args.workload!r} does not use the live "
+            "runtime; pick a live_* workload",
+            file=sys.stderr,
+        )
+        return 2
+    t0 = time.perf_counter()
+    try:
+        result = run_experiment(cfg)
+    except Exception as exc:
+        # Infrastructure failures (socket binds, wedged loop) are exit 2,
+        # like `check`; exit 1 strictly means "a paper bound was violated".
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    elapsed = time.perf_counter() - t0
+    report = result.oracle_report
+    if args.json:
+        payload: dict[str, Any] = {
+            "workload": args.workload,
+            "name": cfg.name,
+            "algorithm": cfg.algorithm,
+            "nodes": cfg.params.n,
+            "duration": cfg.horizon,
+            "elapsed": elapsed,
+            "events": result.events_dispatched,
+            "messages_sent": result.transport_stats["sent"],
+            "messages_delivered": result.transport_stats["delivered"],
+            "jumps": result.total_jumps(),
+            "oracle_ok": report.ok if report is not None else None,
+        }
+        if report is not None:
+            payload.update(report.to_metrics())
+        print(json.dumps(payload, sort_keys=True))
+    else:
+        print(result.summary())
+        if report is not None and not report.ok:
+            print(report.render(max_lines=CHECK_MAX_VIOLATIONS))
+    return 0 if report is None or report.ok else 1
+
+
 def _cmd_ls(args: argparse.Namespace) -> int:
     store = _store_from_args(args)
     entries = list(store.entries())
@@ -396,6 +467,12 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Gradient clock synchronization: experiment sweeps.",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"repro {__version__}",
+        help="print the package version and exit",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -512,6 +589,44 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="print the verdicts as JSON"
     )
     p_check.set_defaults(func=_cmd_check)
+
+    live_workloads = sorted(w for w in WORKLOADS if w.startswith("live_"))
+    p_live = sub.add_parser(
+        "live",
+        help="run a wall-clock asyncio session with the oracle attached",
+        description=(
+            "Run a live_* workload in real time (repro.live): one asyncio "
+            "task per node over a loopback or UDP channel, monotonic wall "
+            "clocks with artificial drift, and the streaming conformance "
+            "oracle checking the paper's bounds online. Exits 1 on any "
+            "violation. Live workloads: " + ", ".join(live_workloads)
+        ),
+    )
+    p_live.add_argument(
+        "--workload",
+        default="live_ring",
+        help="live workload name (default: live_ring)",
+    )
+    p_live.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock session length (overrides the workload default)",
+    )
+    p_live.add_argument(
+        "--set",
+        metavar="KEY=VALUE",
+        nargs="+",
+        action="extend",
+        help="workload arguments (e.g. --set n=16 channel=udp jitter=0.002)",
+    )
+    p_live.add_argument(
+        "--json",
+        action="store_true",
+        help="print a machine-readable summary (includes oracle_ok)",
+    )
+    p_live.set_defaults(func=_cmd_live)
 
     p_ls = sub.add_parser("ls", help="list cached sweep results")
     p_ls.add_argument(

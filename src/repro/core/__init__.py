@@ -1,8 +1,11 @@
 """The paper's primary contribution: the DCSA and its proven bounds.
 
-* :class:`DCSANode` -- Algorithm 2 (Section 5);
+* :mod:`repro.core.protocol` -- the algorithms as sans-IO cores
+  (:class:`DCSACore` and the baseline cores), pure state machines driven by
+  both the simulator and the :mod:`repro.live` asyncio runtime;
+* :class:`DCSANode` -- Algorithm 2 (Section 5) under the sim driver;
 * :class:`BFunction` -- the decaying per-edge tolerance;
-* :class:`ClockSyncNode` -- shared node machinery (lazy clocks, timers);
+* :class:`ClockSyncNode` -- the simulation driver for protocol cores;
 * :mod:`repro.core.skew_bounds` -- every closed-form bound of Sections 4 & 6.
 """
 
@@ -10,14 +13,52 @@ from .bfunction import BFunction
 from .dcsa import DCSANode, Update
 from .estimates import NeighborEstimate, NeighborTable
 from .node import ClockSyncNode
+from .protocol import (
+    CancelTimer,
+    DCSACore,
+    DiscoverAdd,
+    DiscoverRemove,
+    Effect,
+    Event,
+    FreeRunningCore,
+    JumpL,
+    MaxSyncCore,
+    MessageReceived,
+    ProtocolCore,
+    ProtocolError,
+    RaiseLmax,
+    Send,
+    SetTimer,
+    Start,
+    StaticGradientCore,
+    TimerFired,
+)
 from . import skew_bounds
 
 __all__ = [
     "BFunction",
+    "CancelTimer",
     "ClockSyncNode",
+    "DCSACore",
     "DCSANode",
+    "DiscoverAdd",
+    "DiscoverRemove",
+    "Effect",
+    "Event",
+    "FreeRunningCore",
+    "JumpL",
+    "MaxSyncCore",
+    "MessageReceived",
     "NeighborEstimate",
     "NeighborTable",
+    "ProtocolCore",
+    "ProtocolError",
+    "RaiseLmax",
+    "Send",
+    "SetTimer",
+    "Start",
+    "StaticGradientCore",
+    "TimerFired",
     "Update",
     "skew_bounds",
 ]

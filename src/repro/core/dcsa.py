@@ -30,11 +30,17 @@ Implementation interpretation (documented in DESIGN.md): ``L^v_u`` and
 ``Lmax_u`` are refreshed on *every* message receipt (required by Lemma 6.5),
 while ``C^v_u`` is only (re)set when ``v`` (re-)enters ``Gamma_u``
 (required by Lemma 6.10).
+
+The algorithm itself lives in :class:`~repro.core.protocol.DCSACore`, a
+sans-IO state machine that also runs in real time under :mod:`repro.live`;
+:class:`DCSANode` is its simulation-driver shell (see
+:class:`~repro.core.node.ClockSyncNode`), re-exporting the core's state
+for tests and analysis code.
 """
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, ClassVar
 
 from ..params import SystemParams
 from ..sim.clocks import HardwareClock
@@ -42,13 +48,9 @@ from ..sim.simulator import Simulator
 from ..sim.tracing import TraceRecorder
 from .estimates import NeighborTable
 from .node import ClockSyncNode
+from .protocol import DCSACore, ProtocolCore, Update
 
 __all__ = ["DCSANode", "Update"]
-
-#: Message payload: ``(logical clock, max estimate)`` at send time.
-Update = tuple[float, float]
-
-_TICK = "tick"
 
 
 class DCSANode(ClockSyncNode):
@@ -63,6 +65,9 @@ class DCSANode(ClockSyncNode):
     the algorithm's guarantees do not depend on it.
     """
 
+    core_class: ClassVar[type[ProtocolCore] | None] = DCSACore
+    core: DCSACore
+
     def __init__(
         self,
         node_id: int,
@@ -74,108 +79,38 @@ class DCSANode(ClockSyncNode):
         tick_stagger: float = 0.0,
         trace: TraceRecorder | None = None,
     ) -> None:
-        super().__init__(node_id, sim, clock, transport, params, trace=trace)
-        params.validate()
-        #: Upsilon_u -- nodes u believes it shares an edge with.
-        self.upsilon: set[int] = set()
-        #: Gamma_u with C^v_u and L^v_u.
-        self.gamma = NeighborTable()
-        self._tick_stagger = float(tick_stagger)
+        super().__init__(
+            node_id,
+            sim,
+            clock,
+            transport,
+            params,
+            trace=trace,
+            tick_stagger=tick_stagger,
+        )
 
     # ------------------------------------------------------------------ #
-    # Lifecycle
+    # Algorithm state, re-exported from the core
     # ------------------------------------------------------------------ #
 
-    def start(self) -> None:
-        """Arm the first ``tick`` (fires immediately unless staggered)."""
-        self.set_subjective_timer(_TICK, self._tick_stagger)
+    @property
+    def upsilon(self) -> set[int]:
+        """``Upsilon_u`` -- nodes ``u`` believes it shares an edge with."""
+        return self.core.upsilon
 
-    # ------------------------------------------------------------------ #
-    # Lazy-state hook
-    # ------------------------------------------------------------------ #
-
-    def _advance_estimates(self, dh: float) -> None:
-        self.gamma.advance(dh)
-
-    # ------------------------------------------------------------------ #
-    # Event handlers (Algorithm 2)
-    # ------------------------------------------------------------------ #
-
-    def _handle_discover_add(self, v: int) -> None:
-        """``when discover(add({u, v}))``: greet, believe, adjust."""
-        self.send(v, self._update_payload())
-        self.upsilon.add(v)
-        self._adjust_clock()
-
-    def _handle_discover_remove(self, v: int) -> None:
-        """``when discover(remove({u, v}))``: forget entirely, adjust."""
-        if self.gamma.remove(v):
-            self.cancel_timer(("lost", v))
-        self.upsilon.discard(v)
-        self._adjust_clock()
-
-    def _handle_message(self, v: int, payload: Update) -> None:
-        """``when receive(<L_v, Lmax_v>)``: track/refresh, adopt max, adjust."""
-        l_v, lmax_v = payload
-        self.cancel_timer(("lost", v))
-        if v not in self.gamma:
-            # Lines 17-19: v (re-)enters Gamma; C^v_u := H_u now.
-            self.gamma.add(v, added_h=self._h_last, l_est=l_v)
-        else:
-            self.gamma.refresh(v, l_v)
-        self._raise_max(lmax_v)
-        self._adjust_clock()
-        self.set_subjective_timer(("lost", v), self.params.delta_t_prime)
-
-    def _on_timer(self, key: Any) -> None:
-        if key == _TICK:
-            self._on_tick()
-        elif isinstance(key, tuple) and key[0] == "lost":
-            self._on_lost(key[1])
-        else:  # pragma: no cover - defensive
-            raise RuntimeError(f"unknown timer {key!r}")
-
-    def _on_tick(self) -> None:
-        """``when alarm(tick)``: update everyone believed, re-arm."""
-        payload = self._update_payload()
-        for v in sorted(self.upsilon):
-            self.send(v, payload)
-        self._adjust_clock()
-        self.set_subjective_timer(_TICK, self.params.tick_interval)
-
-    def _on_lost(self, v: int) -> None:
-        """``when alarm(lost(v))``: silent too long -- stop trusting v."""
-        self.gamma.remove(v)
-        self._adjust_clock()
-
-    # ------------------------------------------------------------------ #
-    # The clock rule
-    # ------------------------------------------------------------------ #
-
-    def _update_payload(self) -> Update:
-        return (self._L, self._Lmax)
+    @property
+    def gamma(self) -> NeighborTable:
+        """``Gamma_u`` with ``C^v_u`` and ``L^v_u``."""
+        return self.core.gamma
 
     def perceived_skew(self, v: int) -> float | None:
         """``L_u - L^v_u`` for a tracked neighbour (``None`` if untracked)."""
-        row = self.gamma.get(v)
-        if row is None:
-            return None
-        return self._L - row.l_est
+        return self.core.perceived_skew(v)
 
     def tolerance(self, v: int) -> float | None:
         """Current ``B(H_u - C^v_u)`` for a tracked neighbour."""
-        row = self.gamma.get(v)
-        if row is None:
-            return None
-        return self.params.b_function(self._h_last - row.added_h)
+        return self.core.tolerance(v)
 
     def _adjust_clock(self) -> None:
-        """Procedure ``AdjustClock`` -- the one-line clock rule."""
-        ceiling = self._Lmax
-        b = self.params.b_function
-        h = self._h_last
-        for _v, row in self.gamma.items():
-            cand = row.l_est + b(h - row.added_h)
-            if cand < ceiling:
-                ceiling = cand
-        self._jump_logical(ceiling)  # no-op when ceiling <= L
+        """Run ``AdjustClock`` outside an event (test helper)."""
+        self.run_core_action(self.core._adjust_clock)

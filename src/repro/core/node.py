@@ -1,46 +1,70 @@
-"""Base class for clock-synchronization nodes.
+"""The simulation driver for sans-IO protocol cores.
 
-Every algorithm node (the paper's DCSA and all baselines) shares the same
-mechanics, implemented once here:
+:class:`ClockSyncNode` binds one :class:`~repro.core.protocol.ProtocolCore`
+to the discrete-event kernel: it translates transport callbacks and timer
+expiries into protocol events, feeds them to the core at the node's current
+hardware reading, and applies the returned effects against the simulator --
+sends through the transport, subjective timers through the clock's exact
+inverse, deferred jumps back into the core (with trace recording).  The
+core never sees the simulator; the driver never sees the algorithm.
 
-* **Lazy continuous state.**  Between discrete events, the logical clock
-  ``L``, the max estimate ``Lmax`` and all neighbour estimates advance at the
-  node's *hardware* clock rate (Section 5).  We store their values as of the
-  hardware clock reading ``_h_last`` and materialise exactly on event entry
-  (:meth:`_sync`): ``dh`` elapsed subjective time is added to every lazy
-  quantity.  This is exact -- no integration error -- because all lazy
-  quantities drift at precisely the hardware rate.
+The same cores run in real time under :mod:`repro.live`; this driver is
+what keeps the historical execution semantics **bit-identical** to the
+pre-refactor monolithic node classes (the golden-value pins enforce it):
 
-* **Subjective timers.**  ``set timer(dt)`` in the pseudocode means: fire
-  when *my hardware clock* has advanced by ``dt``.  :meth:`set_subjective_timer`
-  converts via the clock's exact inverse and registers a cancellable,
-  keyed simulator event (re-arming a key cancels the previous timer, which
-  is what ``cancel(lost(v))``/``set timer(...)`` pairs compile to).
+* effects are applied synchronously, in emission order, within the same
+  simulator event dispatch -- so message sends consume delay-policy RNG
+  draws and event-queue sequence numbers exactly as before;
+* a :class:`~repro.core.protocol.JumpL` effect is applied *in list order*,
+  so sends emitted before the jump still observe the pre-jump logical
+  clock (the adaptive delay adversary relies on this);
+* ``SetTimer`` converts subjective delays via the clock inverse at the
+  dispatch-time hardware reading, the same arithmetic as the original
+  ``set_subjective_timer``.
 
-* **Event entry points.**  The transport calls :meth:`on_message`,
-  :meth:`on_discover_add`, :meth:`on_discover_remove`; the kernel calls
-  timer callbacks.  Each entry point syncs lazy state, then dispatches to
-  the algorithm-specific handler (``_handle_*`` / ``_on_timer``).
+**Subjective timers.**  ``set timer(dt)`` in the pseudocode means: fire
+when *my hardware clock* has advanced by ``dt``.  The driver converts via
+the clock's exact inverse and registers a cancellable, keyed simulator
+event (re-arming a key cancels the previous timer, which is what
+``cancel(lost(v))``/``set timer(...)`` pairs compile to).
 
-Subclasses implement the five ``_handle_*``/``_on_timer`` hooks and
-:meth:`start`.
+Algorithm node classes (:class:`~repro.core.dcsa.DCSANode` and the
+baselines) are thin shells: they pick a ``core_class`` and re-export the
+core's algorithm-specific state for tests and analysis code.
 """
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Callable, ClassVar
 
 from ..params import SystemParams
 from ..sim.clocks import HardwareClock
 from ..sim.events import PRIORITY_TIMER, ScheduledEvent
 from ..sim.simulator import Simulator
 from ..sim.tracing import NULL_TRACE, TraceRecorder
+from .protocol import (
+    CancelTimer,
+    DiscoverAdd,
+    DiscoverRemove,
+    Effect,
+    Event,
+    JumpL,
+    MessageReceived,
+    ProtocolCore,
+    Send,
+    SetTimer,
+    Start,
+    TimerFired,
+)
 
 __all__ = ["ClockSyncNode"]
 
+#: Optional per-node effect log entry: ``(now_h, event, effects)``.
+EffectLogEntry = tuple[float, Event, tuple[Effect, ...]]
+
 
 class ClockSyncNode:
-    """Common machinery for event-driven clock-sync algorithms.
+    """Drive a sans-IO protocol core against the simulation kernel.
 
     Parameters
     ----------
@@ -54,7 +78,14 @@ class ClockSyncNode:
         Message fabric; must expose ``send(u, v, payload)``.
     params:
         Shared model parameters.
+    core:
+        An explicit :class:`~repro.core.protocol.ProtocolCore`; when
+        omitted, one is built from the subclass's ``core_class`` with any
+        extra keyword arguments.
     """
+
+    #: Core type instantiated by subclasses (``None`` = require ``core=``).
+    core_class: ClassVar[type[ProtocolCore] | None] = None
 
     def __init__(
         self,
@@ -65,6 +96,8 @@ class ClockSyncNode:
         params: SystemParams,
         *,
         trace: TraceRecorder | None = None,
+        core: ProtocolCore | None = None,
+        **core_kwargs: Any,
     ) -> None:
         self.node_id = node_id
         self.sim = sim
@@ -72,17 +105,22 @@ class ClockSyncNode:
         self.transport = transport
         self.params = params
         self.trace = trace if trace is not None else NULL_TRACE
-        # Lazy state, valid as of hardware reading _h_last (== H(_t_last)).
-        self._h_last = 0.0
+        if core is None:
+            cls = type(self).core_class
+            if cls is None:
+                raise TypeError(
+                    "ClockSyncNode needs either an explicit core= or a "
+                    "subclass defining core_class"
+                )
+            core = cls(node_id, params, **core_kwargs)
+        self.core = core
+        #: Real time of the last processed event (guards past reads).
         self._t_last = 0.0
-        self._L = 0.0
-        self._Lmax = 0.0
         # Keyed timers.
         self._timers: dict[Any, ScheduledEvent] = {}
-        # Stats.
-        self.jumps = 0
-        self.total_jump = 0.0
-        self.messages_sent = 0
+        #: Set to a list to capture ``(now_h, event, effects)`` per dispatch
+        #: (used by the sim<->live parity tests; ``None`` = off, free).
+        self.effect_log: list[EffectLogEntry] | None = None
 
     # ------------------------------------------------------------------ #
     # Clock reads
@@ -104,31 +142,66 @@ class ClockSyncNode:
                 f"cannot read logical clock at t={tt!r} before last event "
                 f"t={self._t_last!r}"
             )
-        return self._L + (self.clock.value(tt) - self._h_last)
+        return self.core.logical_clock_at(self.clock.value(tt))
 
     def max_estimate(self, t: float | None = None) -> float:
         """``Lmax_u(t)`` -- read-only, same contract as :meth:`logical_clock`."""
         tt = self.sim.now if t is None else t
-        return self._Lmax + (self.clock.value(tt) - self._h_last)
+        return self.core.max_estimate_at(self.clock.value(tt))
 
     # ------------------------------------------------------------------ #
-    # Lazy-state synchronisation
+    # Stats (owned by the core; re-exported for analysis code)
     # ------------------------------------------------------------------ #
 
-    def _sync(self) -> float:
-        """Advance lazy state to ``sim.now``; returns the new ``H`` reading."""
-        h = self.clock.value(self.sim.now)
-        dh = h - self._h_last
-        if dh != 0.0:
-            self._L += dh
-            self._Lmax += dh
-            self._advance_estimates(dh)
-            self._h_last = h
-            self._t_last = self.sim.now
-        return h
+    @property
+    def jumps(self) -> int:
+        """Number of discrete clock jumps so far."""
+        return self.core.jumps
 
-    def _advance_estimates(self, dh: float) -> None:
-        """Hook: advance algorithm-specific lazy quantities by ``dh``."""
+    @property
+    def total_jump(self) -> float:
+        """Total jumped distance so far."""
+        return self.core.total_jump
+
+    @property
+    def messages_sent(self) -> int:
+        """Messages the core asked to send so far."""
+        return self.core.messages_sent
+
+    # ------------------------------------------------------------------ #
+    # Event dispatch and effect application
+    # ------------------------------------------------------------------ #
+
+    def _dispatch(self, event: Event) -> None:
+        now = self.sim.now
+        now_h = self.clock.value(now)
+        effects = self.core.handle(now_h, event)
+        self._t_last = now
+        if self.effect_log is not None:
+            self.effect_log.append((now_h, event, tuple(effects)))
+        self._apply_effects(effects, now_h)
+
+    def _apply_effects(self, effects: list[Effect], now_h: float) -> None:
+        core = self.core
+        now = self.sim.now
+        for eff in effects:
+            kind = type(eff)
+            if kind is Send:
+                assert isinstance(eff, Send)
+                self.transport.send(self.node_id, eff.dest, eff.payload)
+            elif kind is SetTimer:
+                assert isinstance(eff, SetTimer)
+                self._arm_timer(eff.key, now_h + eff.delay_h)
+            elif kind is CancelTimer:
+                assert isinstance(eff, CancelTimer)
+                self.cancel_timer(eff.key)
+            elif kind is JumpL:
+                assert isinstance(eff, JumpL)
+                self.trace.record(
+                    now, "jump", self.node_id, eff.new_value - core.logical_clock_at(core.h_last)
+                )
+                core.apply_jump(eff.new_value)
+            # RaiseLmax is informational: already applied by the core.
 
     # ------------------------------------------------------------------ #
     # Timers
@@ -142,8 +215,10 @@ class ClockSyncNode:
         """
         if dt_subjective < 0.0:
             raise ValueError(f"subjective delay must be >= 0; got {dt_subjective!r}")
+        self._arm_timer(key, self.clock.value(self.sim.now) + dt_subjective)
+
+    def _arm_timer(self, key: Any, target_h: float) -> None:
         self.cancel_timer(key)
-        target_h = self.clock.value(self.sim.now) + dt_subjective
         fire_t = self.clock.time_at(target_h)
         handle = self.sim.schedule_at(
             max(fire_t, self.sim.now),
@@ -162,8 +237,7 @@ class ClockSyncNode:
 
     def _fire_timer(self, key: Any) -> None:
         self._timers.pop(key, None)
-        self._sync()
-        self._on_timer(key)
+        self._dispatch(TimerFired(key))
 
     # ------------------------------------------------------------------ #
     # Transport entry points
@@ -171,57 +245,54 @@ class ClockSyncNode:
 
     def on_message(self, sender: int, payload: Any) -> None:
         """Transport callback: a message arrived."""
-        self._sync()
-        self._handle_message(sender, payload)
+        self._dispatch(MessageReceived(sender, payload))
 
     def on_discover_add(self, other: int) -> None:
         """Transport callback: ``discover(add({u, other}))``."""
-        self._sync()
-        self._handle_discover_add(other)
+        self._dispatch(DiscoverAdd(other))
 
     def on_discover_remove(self, other: int) -> None:
         """Transport callback: ``discover(remove({u, other}))``."""
-        self._sync()
-        self._handle_discover_remove(other)
+        self._dispatch(DiscoverRemove(other))
 
-    def send(self, dest: int, payload: Any) -> None:
-        """Send a message through the transport (counts it)."""
-        self.messages_sent += 1
-        self.transport.send(self.node_id, dest, payload)
+    def start(self) -> None:
+        """Dispatch the :class:`Start` event.  Called once at ``t = 0``."""
+        self._dispatch(Start())
 
     # ------------------------------------------------------------------ #
-    # Discrete clock adjustments
+    # Direct state shims (harness/test helpers, not used by dispatch)
     # ------------------------------------------------------------------ #
 
-    def _jump_logical(self, new_value: float) -> None:
-        """Discretely raise ``L`` to ``new_value`` (never lowers)."""
-        if new_value > self._L:
-            self.total_jump += new_value - self._L
-            self.jumps += 1
-            self.trace.record(self.sim.now, "jump", self.node_id, new_value - self._L)
-            self._L = new_value
+    def _sync(self) -> float:
+        """Advance the core's lazy state to ``sim.now``; returns ``H``."""
+        h = self.clock.value(self.sim.now)
+        self.core.sync_to(h)
+        self._t_last = self.sim.now
+        return h
 
     def _raise_max(self, candidate: float) -> None:
         """Discretely raise ``Lmax`` to ``candidate`` if larger."""
-        if candidate > self._Lmax:
-            self._Lmax = candidate
+        self.core.force_raise_max(candidate)
 
-    # ------------------------------------------------------------------ #
-    # Subclass interface
-    # ------------------------------------------------------------------ #
+    def _jump_logical(self, new_value: float) -> None:
+        """Discretely raise ``L`` to ``new_value`` (never lowers)."""
+        core = self.core
+        if new_value > core.logical_clock_at(core.h_last):
+            self.trace.record(
+                self.sim.now,
+                "jump",
+                self.node_id,
+                new_value - core.logical_clock_at(core.h_last),
+            )
+            core.apply_jump(new_value)
 
-    def start(self) -> None:
-        """Schedule initial activity (first tick).  Called once at t = 0."""
-        raise NotImplementedError
+    def run_core_action(self, action: Callable[[], None]) -> None:
+        """Run a core method outside event dispatch, applying its effects.
 
-    def _handle_message(self, sender: int, payload: Any) -> None:
-        raise NotImplementedError
-
-    def _handle_discover_add(self, other: int) -> None:
-        raise NotImplementedError
-
-    def _handle_discover_remove(self, other: int) -> None:
-        raise NotImplementedError
-
-    def _on_timer(self, key: Any) -> None:
-        raise NotImplementedError
+        Unit tests use this to poke algorithm internals (e.g. the DCSA's
+        ``AdjustClock``) without fabricating a full event.
+        """
+        now_h = self.clock.value(self.sim.now)
+        self.core.sync_to(now_h)
+        self._t_last = self.sim.now
+        self._apply_effects(self.core.act(action), now_h)

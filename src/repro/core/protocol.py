@@ -1,0 +1,572 @@
+"""Sans-IO protocol cores: the algorithms as pure state machines.
+
+Every clock-synchronization algorithm in this repository (the paper's DCSA
+and the baselines) is expressed here as a *sans-IO* core: a deterministic
+state machine whose entire interface is
+
+.. code-block:: text
+
+   core.handle(now_h, event) -> [effects]
+
+where ``now_h`` is the node's current *hardware clock* reading and
+``event`` is one of the five input events of the model (:class:`Start`,
+:class:`MessageReceived`, :class:`DiscoverAdd`, :class:`DiscoverRemove`,
+:class:`TimerFired`).  The returned :class:`Effect` list is the core's only
+way to act on the world: send a message, (re-)arm or cancel a subjective
+timer, jump the logical clock, raise the max estimate.  Cores never import
+the simulator, never read real time, never touch sockets -- which is what
+lets the *same* core classes run under two drivers:
+
+* :class:`repro.core.node.ClockSyncNode` replays effects through the
+  discrete-event kernel (:mod:`repro.sim`), bit-identical to the original
+  monolithic node classes (the golden-value pins enforce this);
+* :mod:`repro.live` executes them in real time as asyncio tasks over
+  loopback or UDP channels.
+
+**Lazy continuous state.**  Between events, the logical clock ``L``, the
+max estimate ``Lmax`` and all neighbour estimates advance at the node's
+hardware rate (Section 5 of the paper).  The core stores their values as of
+the hardware reading ``h_last`` and materialises exactly on event entry:
+``handle`` first adds the elapsed subjective time ``now_h - h_last`` to
+every lazy quantity.  This is exact -- no integration error -- because all
+lazy quantities drift at precisely the hardware rate.
+
+**Effect ordering and the deferred jump.**  Effects are emitted in the
+exact order the monolithic handlers performed the corresponding actions,
+and drivers must apply them in list order.  :class:`JumpL` is special: the
+core does *not* raise ``L`` when it emits the effect -- the driver applies
+it by calling :meth:`ProtocolCore.apply_jump` when it reaches the effect in
+the list.  This preserves the observable semantics of the original code for
+omniscient observers (e.g. the adaptive delay adversary of
+:mod:`repro.adversary.delay` reads live logical clocks at send time):
+messages emitted before the jump are sent while ``L`` still holds its
+pre-jump value, exactly as before the refactor.  A second ``handle`` call
+with a jump still pending raises :class:`ProtocolError`.
+:class:`RaiseLmax`, by contrast, is applied immediately (the clock rule in
+the same handler depends on it) and emitted purely as an observable record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Hashable, Union
+
+from ..params import SystemParams
+from .estimates import NeighborTable
+
+__all__ = [
+    "CancelTimer",
+    "DCSACore",
+    "DiscoverAdd",
+    "DiscoverRemove",
+    "Effect",
+    "Event",
+    "FreeRunningCore",
+    "JumpL",
+    "MaxSyncCore",
+    "MessageReceived",
+    "ProtocolCore",
+    "ProtocolError",
+    "RaiseLmax",
+    "Send",
+    "SetTimer",
+    "Start",
+    "StaticGradientCore",
+    "TimerFired",
+    "Update",
+]
+
+#: Message payload exchanged by all cores: ``(L, Lmax)`` at send time.
+Update = tuple[float, float]
+
+#: Timer identity; cores use strings and small tuples.
+TimerKey = Hashable
+
+_TICK = "tick"
+
+
+class ProtocolError(RuntimeError):
+    """Raised on protocol-core misuse (e.g. an unapplied pending jump)."""
+
+
+# --------------------------------------------------------------------- #
+# Input events
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True, slots=True)
+class Start:
+    """The node comes alive (dispatched exactly once, first)."""
+
+
+@dataclass(frozen=True, slots=True)
+class MessageReceived:
+    """A message from ``sender`` arrived."""
+
+    sender: int
+    payload: Update
+
+
+@dataclass(frozen=True, slots=True)
+class DiscoverAdd:
+    """``discover(add({u, other}))`` -- an incident edge appeared."""
+
+    other: int
+
+
+@dataclass(frozen=True, slots=True)
+class DiscoverRemove:
+    """``discover(remove({u, other}))`` -- an incident edge vanished."""
+
+    other: int
+
+
+@dataclass(frozen=True, slots=True)
+class TimerFired:
+    """Subjective timer ``key`` expired."""
+
+    key: TimerKey
+
+
+Event = Union[Start, MessageReceived, DiscoverAdd, DiscoverRemove, TimerFired]
+
+
+# --------------------------------------------------------------------- #
+# Output effects
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True, slots=True)
+class Send:
+    """Transmit ``payload`` to neighbour ``dest``."""
+
+    dest: int
+    payload: Update
+
+
+@dataclass(frozen=True, slots=True)
+class SetTimer:
+    """(Re-)arm timer ``key`` to fire after ``delay_h`` *subjective* units.
+
+    Re-arming an already pending key cancels the previous instance, which
+    is what the pseudocode's ``set timer(dt, id)`` means.
+    """
+
+    key: TimerKey
+    delay_h: float
+
+
+@dataclass(frozen=True, slots=True)
+class CancelTimer:
+    """Cancel timer ``key`` if pending (no-op otherwise)."""
+
+    key: TimerKey
+
+
+@dataclass(frozen=True, slots=True)
+class JumpL:
+    """Discretely raise ``L`` to ``new_value``.
+
+    Deferred: drivers must call :meth:`ProtocolCore.apply_jump` when they
+    reach this effect in the list (see module docstring).
+    """
+
+    new_value: float
+
+
+@dataclass(frozen=True, slots=True)
+class RaiseLmax:
+    """``Lmax`` was raised to ``new_value`` (informational; already applied)."""
+
+    new_value: float
+
+
+Effect = Union[Send, SetTimer, CancelTimer, JumpL, RaiseLmax]
+
+
+# --------------------------------------------------------------------- #
+# Core base class
+# --------------------------------------------------------------------- #
+
+
+class ProtocolCore:
+    """Shared sans-IO machinery: lazy state, effect emission, dispatch.
+
+    Subclasses implement the five ``_handle_*``/``_on_timer`` hooks using
+    the ``_send`` / ``_set_timer`` / ``_cancel_timer`` / ``_raise_max`` /
+    ``_request_jump`` emission helpers.
+    """
+
+    def __init__(self, node_id: int, params: SystemParams) -> None:
+        self.node_id = node_id
+        self.params = params
+        #: Hardware reading the lazy state is valid at.
+        self.h_last = 0.0
+        self._L = 0.0
+        self._Lmax = 0.0
+        self._out: list[Effect] | None = None
+        self._pending_jump = False
+        # Stats.
+        self.jumps = 0
+        self.total_jump = 0.0
+        self.messages_sent = 0
+
+    # ------------------------------------------------------------------ #
+    # Read-only views
+    # ------------------------------------------------------------------ #
+
+    def logical_clock_at(self, h: float) -> float:
+        """``L`` at hardware reading ``h >= h_last`` (pure read)."""
+        return self._L + (h - self.h_last)
+
+    def max_estimate_at(self, h: float) -> float:
+        """``Lmax`` at hardware reading ``h >= h_last`` (pure read)."""
+        return self._Lmax + (h - self.h_last)
+
+    # ------------------------------------------------------------------ #
+    # The one entry point
+    # ------------------------------------------------------------------ #
+
+    def handle(self, now_h: float, event: Event) -> list[Effect]:
+        """Advance lazy state to ``now_h``, process ``event``, return effects."""
+        if self._pending_jump:
+            raise ProtocolError(
+                f"node {self.node_id}: previous JumpL effect was never applied; "
+                "drivers must call apply_jump() for every emitted JumpL"
+            )
+        self.sync_to(now_h)
+        out: list[Effect] = []
+        self._out = out
+        try:
+            kind = type(event)
+            if kind is MessageReceived:
+                assert isinstance(event, MessageReceived)
+                self._handle_message(event.sender, event.payload)
+            elif kind is TimerFired:
+                assert isinstance(event, TimerFired)
+                self._on_timer(event.key)
+            elif kind is DiscoverAdd:
+                assert isinstance(event, DiscoverAdd)
+                self._handle_discover_add(event.other)
+            elif kind is DiscoverRemove:
+                assert isinstance(event, DiscoverRemove)
+                self._handle_discover_remove(event.other)
+            elif kind is Start:
+                self._handle_start()
+            else:  # pragma: no cover - defensive
+                raise ProtocolError(f"unknown event {event!r}")
+        finally:
+            self._out = None
+        return out
+
+    def sync_to(self, now_h: float) -> None:
+        """Materialise lazy state at hardware reading ``now_h``."""
+        dh = now_h - self.h_last
+        if dh != 0.0:
+            self._L += dh
+            self._Lmax += dh
+            self._advance_estimates(dh)
+            self.h_last = now_h
+
+    def _advance_estimates(self, dh: float) -> None:
+        """Hook: advance algorithm-specific lazy quantities by ``dh``."""
+
+    # ------------------------------------------------------------------ #
+    # Effect emission helpers
+    # ------------------------------------------------------------------ #
+
+    def _emit(self, effect: Effect) -> None:
+        if self._out is None:  # pragma: no cover - defensive
+            raise ProtocolError("effects may only be emitted inside handle()")
+        self._out.append(effect)
+
+    def _send(self, dest: int, payload: Update) -> None:
+        self.messages_sent += 1
+        self._emit(Send(dest, payload))
+
+    def _set_timer(self, key: TimerKey, delay_h: float) -> None:
+        if delay_h < 0.0:
+            raise ValueError(f"subjective delay must be >= 0; got {delay_h!r}")
+        self._emit(SetTimer(key, delay_h))
+
+    def _cancel_timer(self, key: TimerKey) -> None:
+        self._emit(CancelTimer(key))
+
+    def _raise_max(self, candidate: float) -> None:
+        """Raise ``Lmax`` to ``candidate`` if larger (applied immediately)."""
+        if candidate > self._Lmax:
+            self._Lmax = candidate
+            self._emit(RaiseLmax(candidate))
+
+    def _request_jump(self, new_value: float) -> None:
+        """Emit a deferred :class:`JumpL` when ``new_value`` exceeds ``L``."""
+        if new_value > self._L:
+            self._pending_jump = True
+            self._emit(JumpL(new_value))
+
+    def apply_jump(self, new_value: float) -> None:
+        """Apply a (possibly deferred) jump of ``L`` to ``new_value``.
+
+        Called by drivers when they reach a :class:`JumpL` effect; also the
+        primitive behind the sim driver's test shim ``_jump_logical``.
+        Never lowers ``L``.
+        """
+        self._pending_jump = False
+        delta = new_value - self._L
+        if delta > 0.0:
+            self.total_jump += delta
+            self.jumps += 1
+            self._L = new_value
+
+    def act(self, action: "Callable[[], None]") -> list[Effect]:
+        """Run an out-of-band core action, capturing its emitted effects.
+
+        Drivers use this to invoke algorithm internals outside event
+        dispatch (test shims); the returned effects must be applied like
+        any ``handle`` result -- including :meth:`apply_jump` for
+        :class:`JumpL`.
+        """
+        if self._pending_jump:
+            raise ProtocolError(
+                f"node {self.node_id}: previous JumpL effect was never applied"
+            )
+        out: list[Effect] = []
+        self._out = out
+        try:
+            action()
+        finally:
+            self._out = None
+        return out
+
+    def force_raise_max(self, candidate: float) -> None:
+        """Raise ``Lmax`` outside of event handling (driver/test shim)."""
+        if candidate > self._Lmax:
+            self._Lmax = candidate
+
+    # ------------------------------------------------------------------ #
+    # Subclass interface
+    # ------------------------------------------------------------------ #
+
+    def _handle_start(self) -> None:
+        raise NotImplementedError
+
+    def _handle_message(self, sender: int, payload: Update) -> None:
+        raise NotImplementedError
+
+    def _handle_discover_add(self, other: int) -> None:
+        raise NotImplementedError
+
+    def _handle_discover_remove(self, other: int) -> None:
+        raise NotImplementedError
+
+    def _on_timer(self, key: TimerKey) -> None:
+        raise NotImplementedError
+
+
+# --------------------------------------------------------------------- #
+# The DCSA (Algorithm 2)
+# --------------------------------------------------------------------- #
+
+
+class DCSACore(ProtocolCore):
+    """The paper's dynamic gradient clock synchronization algorithm.
+
+    See :mod:`repro.core.dcsa` for the full algorithmic commentary; this
+    class is the sans-IO translation of Algorithm 2, emitting effects in
+    the exact order the original handlers acted.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        params: SystemParams,
+        *,
+        tick_stagger: float = 0.0,
+    ) -> None:
+        super().__init__(node_id, params)
+        params.validate()
+        #: Upsilon_u -- nodes u believes it shares an edge with.
+        self.upsilon: set[int] = set()
+        #: Gamma_u with C^v_u and L^v_u.
+        self.gamma = NeighborTable()
+        self._tick_stagger = float(tick_stagger)
+
+    def _advance_estimates(self, dh: float) -> None:
+        self.gamma.advance(dh)
+
+    # ------------------------------------------------------------------ #
+    # Event handlers (Algorithm 2)
+    # ------------------------------------------------------------------ #
+
+    def _handle_start(self) -> None:
+        """Arm the first ``tick`` (fires immediately unless staggered)."""
+        self._set_timer(_TICK, self._tick_stagger)
+
+    def _handle_discover_add(self, v: int) -> None:
+        """``when discover(add({u, v}))``: greet, believe, adjust."""
+        self._send(v, self._update_payload())
+        self.upsilon.add(v)
+        self._adjust_clock()
+
+    def _handle_discover_remove(self, v: int) -> None:
+        """``when discover(remove({u, v}))``: forget entirely, adjust."""
+        if self.gamma.remove(v):
+            self._cancel_timer(("lost", v))
+        self.upsilon.discard(v)
+        self._adjust_clock()
+
+    def _handle_message(self, v: int, payload: Update) -> None:
+        """``when receive(<L_v, Lmax_v>)``: track/refresh, adopt max, adjust."""
+        l_v, lmax_v = payload
+        self._cancel_timer(("lost", v))
+        if v not in self.gamma:
+            # Lines 17-19: v (re-)enters Gamma; C^v_u := H_u now.
+            self.gamma.add(v, added_h=self.h_last, l_est=l_v)
+        else:
+            self.gamma.refresh(v, l_v)
+        self._raise_max(lmax_v)
+        self._adjust_clock()
+        self._set_timer(("lost", v), self.params.delta_t_prime)
+
+    def _on_timer(self, key: TimerKey) -> None:
+        if key == _TICK:
+            self._on_tick()
+        elif isinstance(key, tuple) and key[0] == "lost":
+            self._on_lost(key[1])
+        else:  # pragma: no cover - defensive
+            raise RuntimeError(f"unknown timer {key!r}")
+
+    def _on_tick(self) -> None:
+        """``when alarm(tick)``: update everyone believed, re-arm."""
+        payload = self._update_payload()
+        for v in sorted(self.upsilon):
+            self._send(v, payload)
+        self._adjust_clock()
+        self._set_timer(_TICK, self.params.tick_interval)
+
+    def _on_lost(self, v: int) -> None:
+        """``when alarm(lost(v))``: silent too long -- stop trusting v."""
+        self.gamma.remove(v)
+        self._adjust_clock()
+
+    # ------------------------------------------------------------------ #
+    # The clock rule
+    # ------------------------------------------------------------------ #
+
+    def _update_payload(self) -> Update:
+        return (self._L, self._Lmax)
+
+    def perceived_skew(self, v: int) -> float | None:
+        """``L_u - L^v_u`` for a tracked neighbour (``None`` if untracked)."""
+        row = self.gamma.get(v)
+        if row is None:
+            return None
+        return self._L - row.l_est
+
+    def tolerance(self, v: int) -> float | None:
+        """Current ``B(H_u - C^v_u)`` for a tracked neighbour."""
+        row = self.gamma.get(v)
+        if row is None:
+            return None
+        return self.params.b_function(self.h_last - row.added_h)
+
+    def _adjust_clock(self) -> None:
+        """Procedure ``AdjustClock`` -- the one-line clock rule."""
+        ceiling = self._Lmax
+        b = self.params.b_function
+        h = self.h_last
+        for _v, row in self.gamma.items():
+            cand = row.l_est + b(h - row.added_h)
+            if cand < ceiling:
+                ceiling = cand
+        self._request_jump(ceiling)  # no-op when ceiling <= L
+
+
+# --------------------------------------------------------------------- #
+# Baselines
+# --------------------------------------------------------------------- #
+
+
+class MaxSyncCore(ProtocolCore):
+    """Jump-to-max synchronization: ``L_u := Lmax_u`` after every event.
+
+    See :mod:`repro.baselines.max_sync` for the algorithmic commentary.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        params: SystemParams,
+        *,
+        tick_stagger: float = 0.0,
+    ) -> None:
+        super().__init__(node_id, params)
+        self.upsilon: set[int] = set()
+        self._tick_stagger = float(tick_stagger)
+
+    def _handle_start(self) -> None:
+        self._set_timer(_TICK, self._tick_stagger)
+
+    def _handle_discover_add(self, v: int) -> None:
+        self._send(v, (self._L, self._Lmax))
+        self.upsilon.add(v)
+        self._request_jump(self._Lmax)
+
+    def _handle_discover_remove(self, v: int) -> None:
+        self.upsilon.discard(v)
+
+    def _handle_message(self, v: int, payload: Update) -> None:
+        _l_v, lmax_v = payload
+        self._raise_max(lmax_v)
+        self._request_jump(self._Lmax)
+
+    def _on_timer(self, key: TimerKey) -> None:
+        if key != _TICK:  # pragma: no cover - defensive
+            raise RuntimeError(f"unknown timer {key!r}")
+        payload = (self._L, self._Lmax)
+        for v in sorted(self.upsilon):
+            self._send(v, payload)
+        self._request_jump(self._Lmax)
+        self._set_timer(_TICK, self.params.tick_interval)
+
+
+class StaticGradientCore(DCSACore):
+    """The DCSA with the constant tolerance ``B(age) = B_0`` for all ages.
+
+    See :mod:`repro.baselines.static_gradient` for why this is the
+    Locher-Wattenhofer [13] baseline and what breaks on dynamic graphs.
+    """
+
+    def tolerance(self, v: int) -> float | None:
+        """Constant ``B_0`` for tracked neighbours (``None`` otherwise)."""
+        if v in self.gamma:
+            return self.params.b0
+        return None
+
+    def _adjust_clock(self) -> None:
+        ceiling = self._Lmax
+        b0 = self.params.b0
+        for _v, row in self.gamma.items():
+            cand = row.l_est + b0
+            if cand < ceiling:
+                ceiling = cand
+        self._request_jump(ceiling)
+
+
+class FreeRunningCore(ProtocolCore):
+    """No synchronization at all: ``L_u = H_u``, no messages, no timers."""
+
+    def _handle_start(self) -> None:
+        """Nothing to schedule."""
+
+    def _handle_message(self, sender: int, payload: Update) -> None:
+        """Ignore messages."""
+
+    def _handle_discover_add(self, other: int) -> None:
+        """Ignore discoveries."""
+
+    def _handle_discover_remove(self, other: int) -> None:
+        """Ignore discoveries."""
+
+    def _on_timer(self, key: TimerKey) -> None:  # pragma: no cover - never armed
+        raise RuntimeError("free-running node has no timers")

@@ -8,9 +8,11 @@ from .registry import (
     DELAY_BUILDERS,
     DISCOVERY_BUILDERS,
     ORACLE_BUILDERS,
+    RUNTIME_BUILDERS,
     AdversaryRef,
     ChurnRef,
     OracleRef,
+    RuntimeRef,
     SerializationError,
 )
 from .runner import (
@@ -30,9 +32,11 @@ __all__ = [
     "DELAY_BUILDERS",
     "DISCOVERY_BUILDERS",
     "ORACLE_BUILDERS",
+    "RUNTIME_BUILDERS",
     "AdversaryRef",
     "ChurnRef",
     "OracleRef",
+    "RuntimeRef",
     "Experiment",
     "ExperimentConfig",
     "RunResult",

@@ -20,7 +20,7 @@ from ..network.topology import (
     two_chain_edges,
 )
 from ..params import SystemParams
-from .registry import AdversaryRef, ChurnRef, OracleRef
+from .registry import AdversaryRef, ChurnRef, OracleRef, RuntimeRef
 from .runner import ExperimentConfig
 
 __all__ = [
@@ -39,6 +39,9 @@ __all__ = [
     "adversarial_delay",
     "greedy_topology",
     "combined_adversary",
+    "live_ring",
+    "live_grid",
+    "live_churn_ring",
 ]
 
 
@@ -543,6 +546,141 @@ def combined_adversary(
     )
 
 
+# ---------------------------------------------------------------------- #
+# Live (wall-clock asyncio) workloads -- see repro.live and docs/live.md
+# ---------------------------------------------------------------------- #
+
+
+def _live_params(
+    n: int,
+    b0: float | None,
+    *,
+    rho: float = 0.05,
+    max_delay: float = 0.1,
+    discovery_bound: float = 0.2,
+    tick_interval: float = 0.05,
+) -> SystemParams:
+    """Parameters scaled for wall-clock sessions: 1 time unit = 1 second.
+
+    Ticks every 50 ms subjective and a 100 ms delay bound give a 2-second
+    laptop session ~40 protocol rounds per node -- enough activity for the
+    oracle's rate/skew monitors to check something real.
+    """
+    return SystemParams.for_network(
+        n,
+        rho=rho,
+        max_delay=max_delay,
+        discovery_bound=discovery_bound,
+        tick_interval=tick_interval,
+        b0=b0,
+    )
+
+
+def live_ring(
+    n: int = 8,
+    *,
+    duration: float = 5.0,
+    seed: int = 0,
+    algorithm: str = "dcsa",
+    clock_spec: str = "uniform",
+    sample_interval: float = 0.25,
+    channel: str = "loopback",
+    jitter: float = 0.0,
+    oracle: bool = True,
+    b0: float | None = None,
+) -> ExperimentConfig:
+    """A ring of real asyncio tasks with artificial drift, checked online.
+
+    The default live workload: ``n`` concurrent node tasks on one event
+    loop, loopback channel (``channel="udp"`` for real sockets), constant
+    per-node drift drawn from the ``rho`` envelope, and the full streaming
+    oracle attached.  ``duration`` is wall-clock seconds.
+    """
+    return ExperimentConfig(
+        params=_live_params(n, b0),
+        initial_edges=ring_edges(n),
+        algorithm=algorithm,
+        clock_spec=clock_spec,
+        runtime=RuntimeRef("live", {"channel": channel, "jitter": jitter}),
+        horizon=duration,
+        sample_interval=sample_interval,
+        seed=seed,
+        track_edges=False,
+        record=False,
+        oracle=OracleRef("standard", {}) if oracle else None,
+        name=f"live_ring(n={n}, {algorithm})",
+    )
+
+
+def live_grid(
+    rows: int = 3,
+    cols: int = 3,
+    *,
+    duration: float = 5.0,
+    seed: int = 0,
+    algorithm: str = "dcsa",
+    sample_interval: float = 0.25,
+    channel: str = "loopback",
+    jitter: float = 0.0,
+    b0: float | None = None,
+) -> ExperimentConfig:
+    """A live grid session (denser topology, heavier per-tick fan-out)."""
+    n = rows * cols
+    return ExperimentConfig(
+        params=_live_params(n, b0),
+        initial_edges=grid_edges(rows, cols),
+        algorithm=algorithm,
+        runtime=RuntimeRef("live", {"channel": channel, "jitter": jitter}),
+        horizon=duration,
+        sample_interval=sample_interval,
+        seed=seed,
+        track_edges=False,
+        record=False,
+        oracle=OracleRef("standard", {}),
+        name=f"live_grid({rows}x{cols}, {algorithm})",
+    )
+
+
+def live_churn_ring(
+    n: int = 8,
+    *,
+    duration: float = 5.0,
+    seed: int = 0,
+    algorithm: str = "dcsa",
+    sample_interval: float = 0.25,
+    channel: str = "loopback",
+    jitter: float = 0.0,
+    b0: float | None = None,
+) -> ExperimentConfig:
+    """A live ring with scripted mid-session churn on a chord edge.
+
+    A shortcut chord across the ring appears at 40% of the session and
+    disappears at 80%, exercising live discovery injection and the
+    envelope monitor's edge-age tracking against wall-clock timestamps.
+    """
+    chord = (0, n // 2)
+    churn = ScriptedChurn(
+        [
+            (0.4 * duration, "add", chord[0], chord[1]),
+            (0.8 * duration, "remove", chord[0], chord[1]),
+        ]
+    )
+    return ExperimentConfig(
+        params=_live_params(n, b0),
+        initial_edges=ring_edges(n),
+        algorithm=algorithm,
+        runtime=RuntimeRef("live", {"channel": channel, "jitter": jitter}),
+        churn=[churn],
+        horizon=duration,
+        sample_interval=sample_interval,
+        seed=seed,
+        track_edges=False,
+        record=False,
+        oracle=OracleRef("standard", {}),
+        name=f"live_churn_ring(n={n}, {algorithm})",
+    )
+
+
 #: Named workload registry: the single place sweeps and the CLI resolve
 #: workload names.  Every factory above registers itself here.
 WORKLOADS = {
@@ -560,4 +698,7 @@ WORKLOADS = {
     "adversarial_delay": adversarial_delay,
     "greedy_topology": greedy_topology,
     "combined_adversary": combined_adversary,
+    "live_ring": live_ring,
+    "live_grid": live_grid,
+    "live_churn_ring": live_churn_ring,
 }

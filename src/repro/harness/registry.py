@@ -52,6 +52,7 @@ from ..params import SystemParams
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..adversary.base import Adversary
     from ..oracle.oracle import StreamingOracle
+    from .runner import ExperimentConfig, RunResult
 
 __all__ = [
     "ADVERSARY_BUILDERS",
@@ -60,9 +61,11 @@ __all__ = [
     "DELAY_BUILDERS",
     "DISCOVERY_BUILDERS",
     "ORACLE_BUILDERS",
+    "RUNTIME_BUILDERS",
     "AdversaryRef",
     "ChurnRef",
     "OracleRef",
+    "RuntimeRef",
     "SerializationError",
     "jsonify",
     "register_adversary",
@@ -71,6 +74,7 @@ __all__ = [
     "register_delay",
     "register_discovery",
     "register_oracle",
+    "register_runtime",
 ]
 
 
@@ -130,6 +134,8 @@ CHURN_BUILDERS: dict[str, Callable[..., ChurnProcess]] = {}
 ADVERSARY_BUILDERS: dict[str, Callable[..., "Adversary"]] = {}
 #: Oracle factories: name -> (params, rng, **kwargs) -> StreamingOracle.
 ORACLE_BUILDERS: dict[str, Callable[..., "StreamingOracle"]] = {}
+#: Runtime runners: name -> (config, **kwargs) -> RunResult.
+RUNTIME_BUILDERS: dict[str, Callable[..., "RunResult"]] = {}
 
 _F = TypeVar("_F", bound=Callable[..., Any])
 
@@ -172,6 +178,11 @@ def register_adversary(name: str):
 def register_oracle(name: str):
     """Register a named oracle factory addressable via :class:`OracleRef`."""
     return _register(ORACLE_BUILDERS, "oracle", name)
+
+
+def register_runtime(name: str):
+    """Register a named runtime runner addressable via :class:`RuntimeRef`."""
+    return _register(RUNTIME_BUILDERS, "runtime", name)
 
 
 # --------------------------------------------------------------------- #
@@ -305,6 +316,82 @@ class OracleRef:
     def from_dict(cls, data: Mapping[str, Any]) -> "OracleRef":
         """Rebuild from :meth:`to_dict` output."""
         return cls(name=data["name"], kwargs=dict(data.get("kwargs", {})))
+
+
+# --------------------------------------------------------------------- #
+# RuntimeRef
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class RuntimeRef:
+    """A serializable reference to a registered runtime runner.
+
+    The *runtime* decides how an :class:`~repro.harness.runner.ExperimentConfig`
+    is executed: ``"sim"`` replays the protocol cores through the
+    discrete-event kernel (the historical behaviour, bit-identical), while
+    ``"live"`` drives the same cores as real asyncio tasks over loopback or
+    UDP channels (:mod:`repro.live`), interpreting the config's ``horizon``
+    as wall-clock seconds.  ``kwargs`` parameterise the runner (e.g.
+    ``{"channel": "loopback", "jitter": 0.001}`` for the live runtime).
+
+    Like the other refs, a ``RuntimeRef`` round-trips through
+    :meth:`to_dict`/:meth:`from_dict` so runtime choice participates in
+    sweep hashing and multiprocessing.
+    """
+
+    name: str
+    kwargs: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.name not in RUNTIME_BUILDERS:
+            raise KeyError(
+                f"unknown runtime {self.name!r}; registered: "
+                f"{sorted(RUNTIME_BUILDERS)}"
+            )
+        object.__setattr__(
+            self,
+            "kwargs",
+            jsonify(self.kwargs, _context=f"RuntimeRef({self.name!r})"),
+        )
+
+    def run(self, cfg: "ExperimentConfig") -> "RunResult":
+        """Execute ``cfg`` under this runtime."""
+        return RUNTIME_BUILDERS[self.name](cfg, **self.kwargs)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data form: ``{"kind": "ref", "name": ..., "kwargs": ...}``."""
+        return {"kind": "ref", "name": self.name, "kwargs": self.kwargs}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RuntimeRef":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(name=data["name"], kwargs=dict(data.get("kwargs", {})))
+
+
+# --------------------------------------------------------------------- #
+# Built-in runtime runners
+# --------------------------------------------------------------------- #
+#
+# Bodies import lazily: the registry must stay importable from both the
+# runner (which registers nothing here) and repro.live (which this module
+# must not import at module load).
+
+
+@register_runtime("sim")
+def _run_sim_runtime(cfg: "ExperimentConfig") -> "RunResult":
+    """The discrete-event runtime (the default; see repro.harness.runner)."""
+    from .runner import Experiment
+
+    return Experiment(cfg).run()
+
+
+@register_runtime("live")
+def _run_live_runtime(cfg: "ExperimentConfig", **kwargs: Any) -> "RunResult":
+    """The wall-clock asyncio runtime (see repro.live)."""
+    from ..live.driver import run_live_experiment
+
+    return run_live_experiment(cfg, **kwargs)
 
 
 # --------------------------------------------------------------------- #

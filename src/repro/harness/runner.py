@@ -46,9 +46,11 @@ from .registry import (
     CLOCK_BUILDERS,
     DELAY_BUILDERS,
     DISCOVERY_BUILDERS,
+    RUNTIME_BUILDERS,
     AdversaryRef,
     ChurnRef,
     OracleRef,
+    RuntimeRef,
     SerializationError,
     jsonify,
 )
@@ -138,6 +140,15 @@ class ExperimentConfig:
         configs.  Installed at ``t = 0`` alongside the recorder; its
         sampling interval defaults to ``sample_interval``; the final
         report lands in ``RunResult.oracle_report``.
+    runtime:
+        How to execute the run: ``"sim"`` (default; the discrete-event
+        kernel, deterministic and bit-stable) or a
+        :class:`~repro.harness.registry.RuntimeRef` -- e.g.
+        ``RuntimeRef("live", {"channel": "loopback"})`` to drive the same
+        protocol cores as real asyncio tasks (:mod:`repro.live`), where
+        ``horizon`` is interpreted as wall-clock seconds.  A bare string
+        resolves against
+        :data:`~repro.harness.registry.RUNTIME_BUILDERS`.
     name:
         Label carried into reports.
     """
@@ -159,6 +170,7 @@ class ExperimentConfig:
     trace: bool = False
     record: bool = True
     oracle: StreamingOracle | OracleBuilder | None = None
+    runtime: str | RuntimeRef = "sim"
     name: str = ""
 
     # ------------------------------------------------------------------ #
@@ -231,6 +243,15 @@ class ExperimentConfig:
                 "@register_adversary(name)) and reference it as "
                 "AdversaryRef(name, kwargs)."
             )
+        if isinstance(self.runtime, str):
+            runtime_entry: Any = self.runtime
+        elif isinstance(self.runtime, RuntimeRef):
+            runtime_entry = self.runtime.to_dict()
+        else:
+            raise SerializationError(
+                f"cannot serialize runtime {self.runtime!r}; use a registered "
+                "runtime name or RuntimeRef(name, kwargs)"
+            )
         return {
             "params": self.params.to_dict(),
             "initial_edges": [[int(u), int(v)] for u, v in self.initial_edges],
@@ -251,6 +272,7 @@ class ExperimentConfig:
             "trace": bool(self.trace),
             "record": bool(self.record),
             "oracle": oracle_entry,
+            "runtime": runtime_entry,
             "name": self.name,
         }
 
@@ -292,6 +314,14 @@ class ExperimentConfig:
                     f"unknown oracle entry kind {oracle_entry.get('kind')!r}"
                 )
             oracle = OracleRef.from_dict(oracle_entry)
+        runtime: str | RuntimeRef = "sim"
+        runtime_entry = data.pop("runtime", "sim")
+        if isinstance(runtime_entry, str):
+            runtime = runtime_entry
+        elif isinstance(runtime_entry, Mapping) and runtime_entry.get("kind") == "ref":
+            runtime = RuntimeRef.from_dict(runtime_entry)
+        else:
+            raise ValueError(f"unknown runtime entry {runtime_entry!r}")
         known = {f.name for f in fields(cls)}
         unknown = sorted(set(data) - known)
         if unknown:
@@ -302,6 +332,7 @@ class ExperimentConfig:
             churn=churn,
             adversary=adversary,
             oracle=oracle,
+            runtime=runtime,
             **data,
         )
 
@@ -458,6 +489,14 @@ class Experiment:
 
     def __init__(self, cfg: ExperimentConfig) -> None:
         cfg.params.validate()
+        runtime_name = (
+            cfg.runtime if isinstance(cfg.runtime, str) else cfg.runtime.name
+        )
+        if runtime_name != "sim":
+            raise ValueError(
+                f"Experiment wires the 'sim' runtime only; config asks for "
+                f"{runtime_name!r} -- dispatch through run_experiment() instead"
+            )
         if cfg.algorithm not in ALGORITHMS:
             raise ValueError(
                 f"unknown algorithm {cfg.algorithm!r}; "
@@ -590,5 +629,21 @@ def build_experiment(cfg: ExperimentConfig) -> Experiment:
 
 
 def run_experiment(cfg: ExperimentConfig) -> RunResult:
-    """Build and run an experiment; the main library entry point."""
-    return Experiment(cfg).run()
+    """Run an experiment under its configured runtime (the main entry point).
+
+    ``cfg.runtime`` selects the execution engine: ``"sim"`` (default)
+    builds the discrete-event :class:`Experiment`; other registered
+    runtimes (e.g. ``"live"``) receive the config whole.  See
+    :class:`~repro.harness.registry.RuntimeRef`.
+    """
+    runtime = cfg.runtime
+    if isinstance(runtime, str):
+        if runtime == "sim":
+            return Experiment(cfg).run()
+        if runtime not in RUNTIME_BUILDERS:
+            raise ValueError(
+                f"unknown runtime {runtime!r}; registered: "
+                f"{sorted(RUNTIME_BUILDERS)}"
+            )
+        runtime = RuntimeRef(runtime, {})
+    return runtime.run(cfg)

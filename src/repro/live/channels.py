@@ -1,0 +1,188 @@
+"""Pluggable message channels for the live runtime.
+
+A channel moves opaque payloads between node ids; the runtime decides what
+exists (edges, drops, discovery) and the channel decides how bytes travel:
+
+* :class:`LoopbackChannel` -- in-process delivery into the destination's
+  inbox, optionally after a seeded uniform jitter delay.  With
+  ``jitter=0`` delivery is immediate and FIFO per sender, which is the
+  deterministic configuration CI uses.
+* :class:`UdpChannel` -- one real UDP socket per node on localhost (or a
+  configurable host), JSON datagrams, asyncio datagram endpoints.  This is
+  the "real network" configuration: delays, reordering and drops are
+  whatever the OS gives you.
+
+Channels never block the sender: :meth:`LiveChannel.send` is synchronous
+and enqueues/transmits immediately, so effect application inside a node's
+event dispatch stays atomic (no task switch mid-handler).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Callable
+
+import numpy as np
+
+__all__ = ["ChannelError", "LiveChannel", "LoopbackChannel", "UdpChannel"]
+
+#: Delivery callback the runtime hands to channels: ``(src, dst, payload)``.
+Deliver = Callable[[int, int, Any], None]
+
+
+class ChannelError(RuntimeError):
+    """Raised on channel misuse or transport setup failure."""
+
+
+class LiveChannel:
+    """Interface every live channel implements."""
+
+    async def open(self, deliver: Deliver, node_ids: list[int]) -> None:
+        """Bind the delivery callback and allocate transport resources."""
+        raise NotImplementedError
+
+    def send(self, src: int, dst: int, payload: Any) -> None:
+        """Transmit ``payload``; must return without blocking."""
+        raise NotImplementedError
+
+    async def aclose(self) -> None:
+        """Release transport resources."""
+        raise NotImplementedError
+
+
+class LoopbackChannel(LiveChannel):
+    """In-process channel: deliver directly, or after seeded jitter.
+
+    Parameters
+    ----------
+    jitter:
+        Maximum extra delivery delay in seconds; each message waits a
+        uniform draw from ``[0, jitter]``.  ``0`` (default) delivers
+        immediately -- deterministic FIFO per directed link.
+    seed:
+        Seed for the jitter stream (irrelevant when ``jitter == 0``).
+    """
+
+    def __init__(self, *, jitter: float = 0.0, seed: int = 0) -> None:
+        if jitter < 0.0:
+            raise ChannelError(f"jitter must be >= 0; got {jitter!r}")
+        self.jitter = float(jitter)
+        self._rng = np.random.default_rng([seed, 0x11AE])
+        self._deliver: Deliver | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._pending: set[asyncio.TimerHandle] = set()
+
+    async def open(self, deliver: Deliver, node_ids: list[int]) -> None:
+        self._deliver = deliver
+        self._loop = asyncio.get_running_loop()
+
+    def send(self, src: int, dst: int, payload: Any) -> None:
+        deliver = self._deliver
+        if deliver is None:
+            raise ChannelError("channel not opened")
+        if self.jitter == 0.0:
+            deliver(src, dst, payload)
+            return
+        assert self._loop is not None
+        delay = float(self._rng.uniform(0.0, self.jitter))
+        handle: asyncio.TimerHandle | None = None
+
+        def fire() -> None:
+            if handle is not None:
+                self._pending.discard(handle)
+            deliver(src, dst, payload)
+
+        handle = self._loop.call_later(delay, fire)
+        self._pending.add(handle)
+
+    async def aclose(self) -> None:
+        for handle in self._pending:
+            handle.cancel()
+        self._pending.clear()
+        self._deliver = None
+
+
+class _UdpNodeProtocol(asyncio.DatagramProtocol):
+    """Datagram endpoint for one node; forwards decoded frames upward."""
+
+    def __init__(self, channel: "UdpChannel") -> None:
+        self._channel = channel
+
+    def datagram_received(self, data: bytes, addr: Any) -> None:
+        self._channel._on_datagram(data)
+
+    def error_received(self, exc: Exception) -> None:  # pragma: no cover - OS-dependent
+        self._channel.errors += 1
+
+
+class UdpChannel(LiveChannel):
+    """One UDP socket per node; JSON datagrams over a real network stack.
+
+    Parameters
+    ----------
+    host:
+        Interface to bind (default localhost).
+    base_port:
+        First port; node ``i`` binds ``base_port + i``.  ``0`` (default)
+        lets the OS pick ephemeral ports -- always safe for tests.
+    """
+
+    def __init__(self, *, host: str = "127.0.0.1", base_port: int = 0) -> None:
+        self.host = host
+        self.base_port = int(base_port)
+        self.errors = 0
+        self._deliver: Deliver | None = None
+        self._transports: dict[int, asyncio.DatagramTransport] = {}
+        self._addrs: dict[int, tuple[str, int]] = {}
+
+    async def open(self, deliver: Deliver, node_ids: list[int]) -> None:
+        self._deliver = deliver
+        loop = asyncio.get_running_loop()
+        for i in node_ids:
+            port = 0 if self.base_port == 0 else self.base_port + i
+            try:
+                transport, _protocol = await loop.create_datagram_endpoint(
+                    lambda: _UdpNodeProtocol(self),
+                    local_addr=(self.host, port),
+                )
+            except OSError as exc:
+                await self.aclose()
+                raise ChannelError(
+                    f"cannot bind UDP socket for node {i} on "
+                    f"{self.host}:{port}: {exc}"
+                ) from exc
+            sockname = transport.get_extra_info("sockname")
+            self._transports[i] = transport
+            self._addrs[i] = (self.host, int(sockname[1]))
+
+    def _on_datagram(self, data: bytes) -> None:
+        deliver = self._deliver
+        if deliver is None:  # pragma: no cover - late datagram after close
+            return
+        try:
+            frame = json.loads(data.decode("utf-8"))
+            src = int(frame["src"])
+            dst = int(frame["dst"])
+            payload = tuple(float(x) for x in frame["p"])
+        except (ValueError, KeyError, UnicodeDecodeError):  # pragma: no cover
+            self.errors += 1
+            return
+        deliver(src, dst, payload)
+
+    def send(self, src: int, dst: int, payload: Any) -> None:
+        transport = self._transports.get(src)
+        addr = self._addrs.get(dst)
+        if transport is None or addr is None:
+            raise ChannelError(f"unknown endpoint for send {src} -> {dst}")
+        frame = json.dumps(
+            {"src": src, "dst": dst, "p": list(payload)}
+        ).encode("utf-8")
+        transport.sendto(frame, addr)
+
+    async def aclose(self) -> None:
+        for transport in self._transports.values():
+            transport.close()
+        self._transports.clear()
+        self._addrs.clear()
+        self._deliver = None

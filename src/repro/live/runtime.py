@@ -1,0 +1,501 @@
+"""The asyncio runtime: sans-IO protocol cores as concurrent real-time tasks.
+
+:class:`LiveRuntime` is the second driver for the protocol cores of
+:mod:`repro.core.protocol` (the first being the discrete-event simulator).
+Every node runs as one asyncio task that
+
+1. waits on its inbox (messages and discovery events arrive there) with a
+   timeout equal to its earliest pending subjective timer,
+2. stamps each event with the node's hardware reading
+   ``H_u(t) = rate_u * t`` at dispatch (``t`` = seconds since the shared
+   session epoch), feeds it to the core, and
+3. applies the returned effects synchronously: sends through the pluggable
+   :class:`~repro.live.channels.LiveChannel`, timers into a per-node
+   deadline table (subjective delays converted through the clock's exact
+   inverse), deferred jumps back into the core.
+
+Because effect application never awaits, each event dispatch is atomic
+with respect to every other task -- the sampler can only ever observe
+cores between events, exactly like the simulator's ``PRIORITY_SAMPLE``
+convention.
+
+**Topology and churn.**  The runtime owns a
+:class:`~repro.network.graph.DynamicGraph` (real-time timestamps).  Sends
+on absent edges are dropped and surface to the sender as a
+``DiscoverRemove`` (the model's MAC-ack abstraction); scripted churn
+events are replayed at their wall-clock offsets and surface to both
+endpoints as discovery events.
+
+**Online conformance.**  A :class:`~repro.oracle.oracle.StreamingOracle`
+attaches through its driver-agnostic half
+(:meth:`~repro.oracle.oracle.StreamingOracle.attach`): the runtime samples
+it on a wall-clock cadence and feeds it graph events, so live runs are
+checked against the paper's bounds by the *same* monitor code as
+simulations.  Sampling uses the exact arithmetic map ``H_u(t) = rate_u *
+t`` for every node at one shared ``t``, so rate-floor checks see no
+sampling noise.
+
+The whole session is wall-clock capped: nodes stop dispatching at
+``duration`` seconds and a grace timeout backstops the gather.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from ..core.protocol import (
+    CancelTimer,
+    DiscoverAdd,
+    DiscoverRemove,
+    Effect,
+    Event,
+    JumpL,
+    MessageReceived,
+    ProtocolCore,
+    Send,
+    SetTimer,
+    Start,
+    TimerFired,
+)
+from ..network.graph import DynamicGraph
+from ..oracle.oracle import OracleReport, StreamingOracle
+from ..params import SystemParams
+from .channels import LiveChannel
+from .clocks import LiveClock
+
+__all__ = ["LiveNodeView", "LiveRunResult", "LiveRuntime"]
+
+#: Churn script entry, mirroring ScriptedChurn: ``(t_real, op, u, v)``.
+ChurnEvent = tuple[float, str, int, int]
+
+#: Per-dispatch effect-log entry (enabled per node for parity tests).
+EffectLogEntry = tuple[float, Event, tuple[Effect, ...]]
+
+
+class LiveNodeView:
+    """Read-only node facade: what recorders, oracles and results see.
+
+    Exposes the same sampling surface as the sim driver
+    (:class:`repro.core.node.ClockSyncNode`): ``logical_clock(t)`` /
+    ``max_estimate(t)`` plus the core's counters, with ``t`` in session
+    seconds.
+    """
+
+    __slots__ = ("node_id", "core", "clock")
+
+    def __init__(self, node_id: int, core: ProtocolCore, clock: LiveClock) -> None:
+        self.node_id = node_id
+        self.core = core
+        self.clock = clock
+
+    def hardware_clock(self, t: float) -> float:
+        """``H_u(t)``."""
+        return self.clock.h_at(t)
+
+    def logical_clock(self, t: float) -> float:
+        """``L_u(t)`` (``t`` at or after the node's last handled event)."""
+        return self.core.logical_clock_at(self.clock.h_at(t))
+
+    def max_estimate(self, t: float) -> float:
+        """``Lmax_u(t)`` -- same contract as :meth:`logical_clock`."""
+        return self.core.max_estimate_at(self.clock.h_at(t))
+
+    @property
+    def jumps(self) -> int:
+        """Number of discrete clock jumps so far."""
+        return self.core.jumps
+
+    @property
+    def total_jump(self) -> float:
+        """Total jumped distance so far."""
+        return self.core.total_jump
+
+    @property
+    def messages_sent(self) -> int:
+        """Messages the core asked to send so far."""
+        return self.core.messages_sent
+
+
+class _LiveNode:
+    """One node task: inbox, subjective-timer table, effect application."""
+
+    __slots__ = (
+        "runtime",
+        "node_id",
+        "core",
+        "clock",
+        "inbox",
+        "timers",
+        "events_handled",
+        "effect_log",
+    )
+
+    def __init__(
+        self,
+        runtime: "LiveRuntime",
+        node_id: int,
+        core: ProtocolCore,
+        clock: LiveClock,
+    ) -> None:
+        self.runtime = runtime
+        self.node_id = node_id
+        self.core = core
+        self.clock = clock
+        self.inbox: asyncio.Queue[Event] = asyncio.Queue()
+        #: key -> absolute session-time deadline of the pending timer.
+        self.timers: dict[Any, float] = {}
+        self.events_handled = 0
+        #: Set to a list to capture ``(now_h, event, effects)`` per dispatch.
+        self.effect_log: list[EffectLogEntry] | None = None
+
+    def dispatch(self, t: float, event: Event) -> None:
+        """Feed one event to the core at session time ``t``; apply effects."""
+        now_h = self.clock.h_at(t)
+        effects = self.core.handle(now_h, event)
+        self.events_handled += 1
+        if self.effect_log is not None:
+            self.effect_log.append((now_h, event, tuple(effects)))
+        for eff in effects:
+            kind = type(eff)
+            if kind is Send:
+                assert isinstance(eff, Send)
+                self.runtime._transmit(self.node_id, eff.dest, eff.payload)
+            elif kind is SetTimer:
+                assert isinstance(eff, SetTimer)
+                self.timers[eff.key] = t + self.clock.real_delay(eff.delay_h)
+            elif kind is CancelTimer:
+                assert isinstance(eff, CancelTimer)
+                self.timers.pop(eff.key, None)
+            elif kind is JumpL:
+                assert isinstance(eff, JumpL)
+                self.core.apply_jump(eff.new_value)
+            # RaiseLmax is informational: already applied by the core.
+
+    def _fire_due_timers(self, t: float) -> bool:
+        """Dispatch every timer due at ``t``; returns whether any fired."""
+        due = sorted(
+            (deadline, repr(key), key)
+            for key, deadline in self.timers.items()
+            if deadline <= t
+        )
+        for _deadline, _tag, key in due:
+            # A previous firing in this batch may have re-armed/cancelled.
+            current = self.timers.get(key)
+            if current is None or current > t:
+                continue
+            del self.timers[key]
+            self.dispatch(t, TimerFired(key))
+        return bool(due)
+
+    async def run(self) -> None:
+        runtime = self.runtime
+        self.dispatch(runtime.now(), Start())
+        while True:
+            t = runtime.now()
+            if t >= runtime.duration:
+                return
+            if self._fire_due_timers(t):
+                continue
+            timeout = runtime.duration - t
+            if self.timers:
+                timeout = min(timeout, min(self.timers.values()) - t)
+            try:
+                event = await asyncio.wait_for(
+                    self.inbox.get(), timeout=max(timeout, 0.0)
+                )
+            except asyncio.TimeoutError:
+                continue
+            t = runtime.now()
+            if t >= runtime.duration:
+                return
+            self.dispatch(t, event)
+            # Drain whatever else arrived without another await round trip
+            # (still honouring the wall-clock cap between events).
+            while not self.inbox.empty():
+                t = runtime.now()
+                if t >= runtime.duration:
+                    return
+                self.dispatch(t, self.inbox.get_nowait())
+
+
+@dataclass
+class LiveRunResult:
+    """Everything a finished live session produced."""
+
+    params: SystemParams
+    duration: float
+    elapsed: float
+    nodes: dict[int, LiveNodeView]
+    graph: DynamicGraph
+    transport_stats: dict[str, int]
+    events_handled: int
+    oracle_report: OracleReport | None = None
+    name: str = ""
+    #: Per-node effect logs, populated when the runtime ran with
+    #: ``capture_effects=True`` (parity tests).
+    effect_logs: dict[int, list[EffectLogEntry]] = field(default_factory=dict)
+
+    def total_jumps(self) -> int:
+        """Total discrete clock jumps across all nodes."""
+        return sum(view.jumps for view in self.nodes.values())
+
+    def summary(self) -> str:
+        """One-paragraph human-readable session summary."""
+        lines = [
+            f"live run '{self.name or 'session'}': n={self.params.n} "
+            f"duration={self.duration:.3g}s (elapsed {self.elapsed:.3g}s)",
+            f"  events: {self.events_handled}  messages: "
+            f"{self.transport_stats['sent']} sent / "
+            f"{self.transport_stats['delivered']} delivered  "
+            f"jumps: {self.total_jumps()}",
+        ]
+        if self.oracle_report is not None:
+            rep = self.oracle_report
+            lines.append(
+                f"  oracle: {'OK' if rep.ok else 'VIOLATED'} "
+                f"({rep.checks} checks, {rep.violation_count} violations)"
+            )
+        return "\n".join(lines)
+
+
+class LiveRuntime:
+    """Run a set of protocol cores as wall-clock asyncio tasks.
+
+    Parameters
+    ----------
+    params:
+        Model parameters; in live mode one model time unit is one real
+        second, so ``max_delay``/``tick_interval`` are in seconds.
+    cores:
+        ``node_id -> ProtocolCore``; ids must be ``0..n-1``.
+    clocks:
+        ``node_id -> LiveClock`` (see :func:`repro.live.clocks.build_live_clocks`).
+    channel:
+        The message fabric (loopback or UDP).
+    duration:
+        Wall-clock session length in seconds (hard cap).
+    initial_edges:
+        ``E_0``; endpoints learn about them at session start.
+    churn_events:
+        Scripted ``(t, op, u, v)`` topology events, ``t`` in session
+        seconds.
+    oracle:
+        Optional un-installed :class:`StreamingOracle` to attach.
+    sample_interval:
+        Oracle sampling cadence in seconds (default 0.25).
+    capture_effects:
+        Record per-node ``(now_h, event, effects)`` logs (parity tests).
+    """
+
+    #: Extra wall-clock grace on top of ``duration`` before the backstop
+    #: timeout cancels a wedged session.
+    GRACE = 10.0
+
+    def __init__(
+        self,
+        params: SystemParams,
+        cores: Mapping[int, ProtocolCore],
+        clocks: Mapping[int, LiveClock],
+        channel: LiveChannel,
+        *,
+        duration: float,
+        initial_edges: Sequence[tuple[int, int]] = (),
+        churn_events: Sequence[ChurnEvent] = (),
+        oracle: StreamingOracle | None = None,
+        sample_interval: float = 0.25,
+        capture_effects: bool = False,
+        name: str = "",
+    ) -> None:
+        if duration <= 0.0:
+            raise ValueError(f"duration must be positive; got {duration!r}")
+        if sorted(cores) != list(range(len(cores))):
+            raise ValueError("core ids must be exactly 0..n-1")
+        if sorted(clocks) != sorted(cores):
+            raise ValueError("clocks and cores must cover the same node ids")
+        self.params = params
+        self.channel = channel
+        self.duration = float(duration)
+        self.sample_interval = float(sample_interval)
+        self.oracle = oracle
+        self.name = name
+        self.graph = DynamicGraph(sorted(cores), initial_edges)
+        self.nodes: dict[int, _LiveNode] = {
+            i: _LiveNode(self, i, core, clocks[i]) for i, core in cores.items()
+        }
+        if capture_effects:
+            for node in self.nodes.values():
+                node.effect_log = []
+        self.views: dict[int, LiveNodeView] = {
+            i: LiveNodeView(i, node.core, node.clock)
+            for i, node in self.nodes.items()
+        }
+        self._churn_events: list[ChurnEvent] = sorted(
+            churn_events, key=lambda e: e[0]
+        )
+        for t, op, _u, _v in self._churn_events:
+            if op not in ("add", "remove"):
+                raise ValueError(f"bad churn op {op!r}")
+            if t < 0.0:
+                raise ValueError(f"negative churn event time {t!r}")
+        self.stats = {
+            "sent": 0,
+            "delivered": 0,
+            "dropped_no_edge": 0,
+            "dropped_removed": 0,
+            "discoveries_delivered": 0,
+            "discoveries_skipped": 0,
+        }
+        self._t0 = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Session clock
+    # ------------------------------------------------------------------ #
+
+    def now(self) -> float:
+        """Seconds since the session epoch (shared by every node)."""
+        return time.monotonic() - self._t0
+
+    # ------------------------------------------------------------------ #
+    # Message fabric
+    # ------------------------------------------------------------------ #
+
+    def _transmit(self, src: int, dst: int, payload: Any) -> None:
+        """Apply one Send effect: edge check, then hand to the channel."""
+        self.stats["sent"] += 1
+        if not self.graph.has_edge(src, dst):
+            # The MAC-ack abstraction: a failed send surfaces to the
+            # sender as (prompt) discovery that the edge is gone.
+            self.stats["dropped_no_edge"] += 1
+            self._discover(src, DiscoverRemove(dst))
+            return
+        self.channel.send(src, dst, payload)
+
+    def _deliver(self, src: int, dst: int, payload: Any) -> None:
+        """Channel callback: enqueue a received message for dispatch."""
+        if not self.graph.has_edge(src, dst):
+            self.stats["dropped_removed"] += 1
+            return
+        self.stats["delivered"] += 1
+        self.nodes[dst].inbox.put_nowait(MessageReceived(src, payload))
+
+    def _discover(self, node_id: int, event: DiscoverAdd | DiscoverRemove) -> None:
+        self.stats["discoveries_delivered"] += 1
+        self.nodes[node_id].inbox.put_nowait(event)
+
+    # ------------------------------------------------------------------ #
+    # Auxiliary tasks
+    # ------------------------------------------------------------------ #
+
+    async def _run_churn(self) -> None:
+        for t_ev, op, u, v in self._churn_events:
+            delay = t_ev - self.now()
+            if delay > 0.0:
+                await asyncio.sleep(delay)
+            t = self.now()
+            if t >= self.duration:
+                return
+            # Tolerant replay (unlike the sim's exact ScriptedChurn):
+            # wall-clock scheduling may race a previous toggle.
+            if op == "add":
+                if self.graph.has_edge(u, v):
+                    self.stats["discoveries_skipped"] += 1
+                    continue
+                self.graph.add_edge(u, v, t)
+                self._discover(u, DiscoverAdd(v))
+                self._discover(v, DiscoverAdd(u))
+            else:
+                if not self.graph.has_edge(u, v):
+                    self.stats["discoveries_skipped"] += 1
+                    continue
+                self.graph.remove_edge(u, v, t)
+                self._discover(u, DiscoverRemove(v))
+                self._discover(v, DiscoverRemove(u))
+
+    async def _run_sampler(self) -> None:
+        oracle = self.oracle
+        if oracle is None:
+            return
+        next_t = self.sample_interval
+        while next_t <= self.duration:
+            delay = next_t - self.now()
+            if delay > 0.0:
+                await asyncio.sleep(delay)
+            t = self.now()
+            if t > self.duration:
+                return
+            oracle.sample(t)
+            next_t += self.sample_interval
+
+    # ------------------------------------------------------------------ #
+    # Session lifecycle
+    # ------------------------------------------------------------------ #
+
+    async def run_async(self) -> LiveRunResult:
+        """Run the session on the current event loop."""
+        await self.channel.open(self._deliver, sorted(self.nodes))
+        oracle = self.oracle
+        if oracle is not None:
+            oracle.attach(self.views, interval=self.sample_interval)
+            oracle.attach_graph(self.graph)
+        # E_0 is known to its endpoints from the start.
+        for u, v in self.graph.edges():
+            self._discover(u, DiscoverAdd(v))
+            self._discover(v, DiscoverAdd(u))
+        # The epoch starts after transport setup (UDP binds can take a
+        # while) so the full duration belongs to protocol activity.
+        self._t0 = time.monotonic()
+        if oracle is not None:
+            oracle.sample(0.0)
+        node_tasks = [
+            asyncio.ensure_future(node.run())
+            for _i, node in sorted(self.nodes.items())
+        ]
+        aux_tasks = [
+            asyncio.ensure_future(self._run_churn()),
+            asyncio.ensure_future(self._run_sampler()),
+        ]
+        try:
+            await asyncio.wait_for(
+                asyncio.gather(*node_tasks), timeout=self.duration + self.GRACE
+            )
+        finally:
+            for task in aux_tasks + node_tasks:
+                task.cancel()
+            settled = await asyncio.gather(
+                *aux_tasks, *node_tasks, return_exceptions=True
+            )
+            await self.channel.aclose()
+            # A dead churn script or oracle sampler must fail the session
+            # loudly -- a vacuous oracle_ok would defeat the whole gate.
+            # (CancelledError subclasses BaseException, so end-of-session
+            # cancellations fall through this filter.)
+            for outcome in settled:
+                if isinstance(outcome, Exception):
+                    raise outcome
+        elapsed = self.now()
+        if oracle is not None:
+            # One last sample at session end, like the recorder's horizon.
+            oracle.sample(elapsed)
+        return LiveRunResult(
+            params=self.params,
+            duration=self.duration,
+            elapsed=elapsed,
+            nodes=self.views,
+            graph=self.graph,
+            transport_stats=dict(self.stats),
+            events_handled=sum(n.events_handled for n in self.nodes.values()),
+            oracle_report=oracle.report() if oracle is not None else None,
+            name=self.name,
+            effect_logs={
+                i: node.effect_log
+                for i, node in self.nodes.items()
+                if node.effect_log is not None
+            },
+        )
+
+    def run(self) -> LiveRunResult:
+        """Run the session to completion (owns a fresh event loop)."""
+        return asyncio.run(self.run_async())

@@ -183,20 +183,19 @@ class StreamingOracle:
     # Wiring
     # ------------------------------------------------------------------ #
 
-    def install(
+    def attach(
         self,
-        sim: Simulator,
-        graph: DynamicGraph,
         nodes: Mapping[int, Any],
         *,
         interval: float | None = None,
-        end: float | None = None,
     ) -> None:
-        """Arm periodic sampling and subscribe to graph events.
+        """Bind the monitors to a node set without arming any scheduler.
 
-        Must be called at ``t = 0`` (before any mutation the oracle should
-        see); edges already present are seeded as age-0 edges, matching
-        the recorder's episode convention.
+        This is the driver-agnostic half of :meth:`install`: after
+        attaching, the owner is responsible for calling :meth:`sample`
+        periodically and :meth:`edge_event` on every topology mutation.
+        The :mod:`repro.live` runtime uses this path to monitor real-time
+        asyncio runs with the exact same monitor code as simulations.
         """
         if self._installed:
             raise OracleError("oracle already installed")
@@ -218,13 +217,41 @@ class StreamingOracle:
                 max_recorded=self.max_recorded,
             )
         self._edge_monitors = [m for m in self.monitors if m.tracks_edges]
-        if self._edge_monitors:
-            graph.subscribe(self._on_edge_event)
-            for u, v in graph.edges():
-                self._on_edge_event(0.0, u, v, True)
-        sim.every(self.interval, self._sample, end=end)
 
-    def _on_edge_event(self, time: float, u: int, v: int, added: bool) -> None:
+    def attach_graph(self, graph: DynamicGraph) -> None:
+        """Subscribe to graph mutations and seed current edges at age 0.
+
+        Must be called at ``t = 0`` (before any mutation the oracle should
+        see); edges already present are seeded as age-0 edges, matching
+        the recorder's episode convention.  Shared by both drivers so the
+        episode convention has exactly one definition.
+        """
+        if self._edge_monitors:
+            graph.subscribe(self.edge_event)
+            for u, v in graph.edges():
+                self.edge_event(0.0, u, v, True)
+
+    def install(
+        self,
+        sim: Simulator,
+        graph: DynamicGraph,
+        nodes: Mapping[int, Any],
+        *,
+        interval: float | None = None,
+        end: float | None = None,
+    ) -> None:
+        """Arm periodic sampling and subscribe to graph events (sim driver).
+
+        Must be called at ``t = 0``; see :meth:`attach_graph` for the
+        edge-seeding convention.
+        """
+        self.attach(nodes, interval=interval)
+        self.attach_graph(graph)
+        assert self.interval is not None
+        sim.every(self.interval, self.sample, end=end)
+
+    def edge_event(self, time: float, u: int, v: int, added: bool) -> None:
+        """Feed one topology mutation to the edge-tracking monitors."""
         for monitor in self._edge_monitors:
             monitor.on_edge_event(time, u, v, added)
 
@@ -232,7 +259,7 @@ class StreamingOracle:
     # Sampling
     # ------------------------------------------------------------------ #
 
-    def _sample(self, t: float) -> None:
+    def sample(self, t: float) -> None:
         n = len(self._node_ids)
         clocks = np.fromiter(
             (self._nodes[i].logical_clock(t) for i in self._node_ids),

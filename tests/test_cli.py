@@ -239,6 +239,73 @@ class TestLsShow:
         assert "ambiguous" in err
 
 
+class TestVersion:
+    def test_version_flag_prints_package_version(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as exc_info:
+            main(["--version"])
+        assert exc_info.value.code == 0
+        out = capsys.readouterr().out
+        assert out.strip() == f"repro {__version__}"
+
+
+class TestLive:
+    def test_live_help_lists_workloads_and_duration(self, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["live", "--help"])
+        assert exc_info.value.code == 0
+        out = capsys.readouterr().out
+        assert "--duration" in out
+        assert "live_ring" in out
+
+    def test_live_session_reports_oracle_ok_json(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "live",
+            "--workload",
+            "live_ring",
+            "--duration",
+            "0.4",
+            "--set",
+            "sample_interval=0.1",
+            "--json",
+        )
+        assert code == 0
+        summary = json.loads(out)
+        assert summary["oracle_ok"] is True
+        assert summary["nodes"] == 8
+        assert summary["oracle_checks"] > 0
+        assert summary["messages_delivered"] > 0
+
+    def test_live_text_output(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "live", "--duration", "0.3", "--set", "n=8"
+        )
+        assert code == 0
+        assert "live_ring" in out
+        assert "oracle: OK" in out
+
+    def test_unknown_workload_exits_two(self, capsys):
+        code, _, err = run_cli(capsys, "live", "--workload", "nope")
+        assert code == 2
+        assert "live workloads" in err
+
+    def test_non_live_workload_exits_two(self, capsys):
+        code, _, err = run_cli(
+            capsys, "live", "--workload", "static_ring", "--set", "n=6"
+        )
+        assert code == 2
+        assert "does not use the live runtime" in err
+
+    def test_bad_set_value_exits_two(self, capsys):
+        code, _, err = run_cli(
+            capsys, "live", "--duration", "0.2", "--set", "bogus_kw=1"
+        )
+        assert code == 2
+        assert "error" in err
+
+
 class TestPrune:
     @pytest.fixture
     def versioned_root(self, tmp_path):

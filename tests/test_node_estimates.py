@@ -1,4 +1,4 @@
-"""Tests for the node base class (lazy clocks, timers) and NeighborTable."""
+"""Tests for the sim driver (lazy clocks, timers) and NeighborTable."""
 
 from __future__ import annotations
 
@@ -7,23 +7,19 @@ import pytest
 from repro import SystemParams
 from repro.core.estimates import NeighborTable
 from repro.core.node import ClockSyncNode
+from repro.core.protocol import MessageReceived, ProtocolCore, TimerFired
 from repro.sim.clocks import ConstantRateClock, PiecewiseRateClock
 from repro.sim.simulator import Simulator
 
 
-class ProbeNode(ClockSyncNode):
-    """Concrete node exposing hooks for the base-class tests."""
+class ProbeCore(ProtocolCore):
+    """A do-nothing core; the driver mechanics are what these tests probe."""
 
-    def __init__(self, *args, **kwargs):
-        super().__init__(*args, **kwargs)
-        self.timer_fires = []
-        self.msgs = []
-
-    def start(self):
+    def _handle_start(self):
         pass
 
     def _handle_message(self, sender, payload):
-        self.msgs.append((self.sim.now, sender, payload))
+        pass
 
     def _handle_discover_add(self, other):
         pass
@@ -32,7 +28,25 @@ class ProbeNode(ClockSyncNode):
         pass
 
     def _on_timer(self, key):
-        self.timer_fires.append((self.sim.now, key))
+        pass
+
+
+class ProbeNode(ClockSyncNode):
+    """Driver shell recording every dispatched event with its real time."""
+
+    core_class = ProbeCore
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.timer_fires = []
+        self.msgs = []
+
+    def _dispatch(self, event):
+        super()._dispatch(event)
+        if isinstance(event, TimerFired):
+            self.timer_fires.append((self.sim.now, event.key))
+        elif isinstance(event, MessageReceived):
+            self.msgs.append((self.sim.now, event.sender, event.payload))
 
 
 class FakeTransport:
