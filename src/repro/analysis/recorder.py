@@ -129,6 +129,15 @@ class SkewRecorder:
         self.graph = graph
         self.nodes = dict(nodes)
         self.node_ids = sorted(self.nodes)
+        # Flat reader lists in node_ids order: one bound-method call per
+        # node per sample instead of dict lookup + attribute resolution.
+        self._clock_readers = [self.nodes[i].logical_clock for i in self.node_ids]
+        self._estimate_readers = (
+            [self.nodes[i].max_estimate for i in self.node_ids]
+            if track_max_estimates
+            else []
+        )
+        self._dense_index = {nid: k for k, nid in enumerate(self.node_ids)}
         self.interval = float(interval)
         self.track_edges = track_edges
         self.track_max_estimates = track_max_estimates
@@ -168,7 +177,7 @@ class SkewRecorder:
 
     def _sample(self, t: float) -> None:
         clocks = np.fromiter(
-            (self.nodes[i].logical_clock(t) for i in self.node_ids),
+            (read(t) for read in self._clock_readers),
             dtype=float,
             count=len(self.node_ids),
         )
@@ -177,13 +186,13 @@ class SkewRecorder:
         if self.track_max_estimates:
             self._lmax.append(
                 np.fromiter(
-                    (self.nodes[i].max_estimate(t) for i in self.node_ids),
+                    (read(t) for read in self._estimate_readers),
                     dtype=float,
                     count=len(self.node_ids),
                 )
             )
         if self.track_edges and self._live:
-            index = {nid: k for k, nid in enumerate(self.node_ids)}
+            index = self._dense_index
             for (u, v), ep in self._live.items():
                 skew = abs(clocks[index[u]] - clocks[index[v]])
                 ep.ages.append(t - ep.add_time)

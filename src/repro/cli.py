@@ -1,7 +1,13 @@
 """Command-line interface: ``python -m repro`` (or the ``repro`` script).
 
-Six subcommands drive the sweep, conformance and live subsystems from the
+Seven subcommands drive the sweep, conformance and live subsystems from the
 shell (plus ``--version``):
+
+``run WORKLOAD``
+    Execute one named workload once and print its summary (events,
+    throughput, skews, oracle verdict).  ``--profile`` wraps the run in
+    cProfile and prints the top cumulative entries -- the standard tool
+    for kernel performance work (see docs/performance.md).
 
 ``sweep WORKLOAD``
     Expand a named workload from :data:`repro.harness.configs.WORKLOADS`
@@ -78,6 +84,8 @@ __all__ = ["main"]
 DEFAULT_STORE = ".sweep-cache"
 #: Violation records shown per `repro check` run (text and JSON output).
 CHECK_MAX_VIOLATIONS = 20
+#: Entries printed by `repro run --profile` (sorted by cumulative time).
+PROFILE_TOP_N = 25
 #: Default prune target: the benchmarks' versioned store root.
 DEFAULT_PRUNE_ROOT = os.path.join("benchmarks", ".sweep-cache")
 
@@ -270,6 +278,77 @@ def _check_one(cfg, args: argparse.Namespace) -> tuple[bool, dict[str, Any]]:
         "_lines": lines,
     }
     return report.ok, summary
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .harness.runner import run_experiment
+
+    factory = WORKLOADS.get(args.workload)
+    if factory is None:
+        print(
+            f"error: unknown workload {args.workload!r}; choose from "
+            f"{sorted(WORKLOADS)}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        cfg = factory(**_single_assignments(args.set))
+    except (KeyError, TypeError, ValueError, argparse.ArgumentTypeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+    t0 = time.perf_counter()
+    try:
+        result = run_experiment(cfg)
+    except Exception as exc:
+        if profiler is not None:
+            profiler.disable()
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    elapsed = time.perf_counter() - t0
+    if profiler is not None:
+        profiler.disable()
+    events_per_sec = result.events_dispatched / max(elapsed, 1e-9)
+    report = result.oracle_report
+    if args.json:
+        payload: dict[str, Any] = {
+            "workload": args.workload,
+            "name": cfg.name,
+            "algorithm": cfg.algorithm,
+            "nodes": cfg.params.n,
+            "horizon": cfg.horizon,
+            "elapsed": elapsed,
+            "events": result.events_dispatched,
+            "events_per_sec": events_per_sec,
+            "messages_sent": result.transport_stats["sent"],
+            "messages_delivered": result.transport_stats["delivered"],
+            "jumps": result.total_jumps(),
+            "oracle_ok": report.ok if report is not None else None,
+        }
+        if report is not None:
+            payload.update(report.to_metrics())
+        print(json.dumps(payload, sort_keys=True))
+    else:
+        print(result.summary())
+        print(f"  wall: {elapsed:.2f}s  throughput: {events_per_sec:,.0f} events/s")
+        if report is not None and not report.ok:
+            print(report.render(max_lines=CHECK_MAX_VIOLATIONS))
+    if profiler is not None:
+        import pstats
+
+        # --json owns stdout (one parseable line); the profile goes to
+        # stderr there so piped consumers never see it.
+        dest = sys.stderr if args.json else sys.stdout
+        stats = pstats.Stats(profiler, stream=dest)
+        stats.sort_stats("cumulative")
+        print(f"\nprofile: top {PROFILE_TOP_N} by cumulative time", file=dest)
+        stats.print_stats(PROFILE_TOP_N)
+    return 0 if report is None or report.ok else 1
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
@@ -532,6 +611,39 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print a machine-readable JSON summary instead of the table",
     )
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_run = sub.add_parser(
+        "run",
+        help="run one workload once and print its summary",
+        description=(
+            "Execute a single named workload through run_experiment and "
+            "print the run summary (events, messages, skews, oracle "
+            "verdict; exits 1 on an oracle violation). --profile wraps "
+            "the run in cProfile and prints the top cumulative entries -- "
+            "the standard tool for kernel performance work "
+            "(docs/performance.md). Workloads: " + ", ".join(sorted(WORKLOADS))
+        ),
+    )
+    p_run.add_argument("workload", help="workload name (see --help for the list)")
+    p_run.add_argument(
+        "--set",
+        metavar="KEY=VALUE",
+        nargs="+",
+        action="extend",
+        help="workload arguments (e.g. --set n=4096 horizon=30)",
+    )
+    p_run.add_argument(
+        "--profile",
+        action="store_true",
+        help=f"profile the run with cProfile; print the top {PROFILE_TOP_N} "
+        "entries by cumulative time",
+    )
+    p_run.add_argument(
+        "--json",
+        action="store_true",
+        help="print a machine-readable summary (includes events_per_sec)",
+    )
+    p_run.set_defaults(func=_cmd_run)
 
     p_check = sub.add_parser(
         "check",

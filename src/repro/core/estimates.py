@@ -61,6 +61,10 @@ class NeighborTable:
         """Iterate ``(neighbour id, estimate row)`` pairs."""
         return iter(self._rows.items())
 
+    def rows(self) -> Iterator[NeighborEstimate]:
+        """Iterate estimate rows without keys (insertion order; hot path)."""
+        return iter(self._rows.values())
+
     def get(self, v: int) -> NeighborEstimate | None:
         """Row for ``v`` or ``None``."""
         return self._rows.get(v)

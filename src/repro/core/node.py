@@ -39,7 +39,7 @@ from typing import Any, Callable, ClassVar
 
 from ..params import SystemParams
 from ..sim.clocks import HardwareClock
-from ..sim.events import PRIORITY_TIMER, ScheduledEvent
+from ..sim.events import KIND_TIMER, PRIORITY_TIMER, ScheduledEvent
 from ..sim.simulator import Simulator
 from ..sim.tracing import NULL_TRACE, TraceRecorder
 from .protocol import (
@@ -57,10 +57,67 @@ from .protocol import (
     TimerFired,
 )
 
-__all__ = ["ClockSyncNode"]
+__all__ = ["ClockSyncNode", "NodeTable"]
 
 #: Optional per-node effect log entry: ``(now_h, event, effects)``.
 EffectLogEntry = tuple[float, Event, tuple[Effect, ...]]
+
+
+class NodeTable:
+    """Dense per-simulator driver table and kernel timer dispatcher.
+
+    One instance attaches to each :class:`~repro.sim.simulator.Simulator`
+    (under ``sim.subsystems["node_table"]``) and registers itself as the
+    :data:`~repro.sim.events.KIND_TIMER` dispatch handler.  Drivers live in
+    a flat list keyed by their dense node id, replacing the dict-per-lookup
+    paths of the closure-era kernel; timer records carry ``(driver, key)``
+    payloads so a timer firing is one list-free attribute hop with no
+    closure allocated per arm.
+
+    The table is also the natural bulk-access point for measurement code:
+    :meth:`drivers_for` resolves sorted node ids to a flat driver list once
+    instead of per sample.
+    """
+
+    __slots__ = ("drivers",)
+
+    def __init__(self) -> None:
+        #: Flat driver list indexed by dense node id (``None`` = empty slot).
+        self.drivers: list["ClockSyncNode | None"] = []
+
+    @classmethod
+    def ensure(cls, sim: Simulator) -> "NodeTable":
+        """The simulator's table, created and handler-registered on demand."""
+        table = sim.subsystems.get("node_table")
+        if table is None:
+            table = cls()
+            sim.subsystems["node_table"] = table
+            sim.set_handler(KIND_TIMER, _dispatch_timer)
+        return table
+
+    def register(self, node_id: int, driver: "ClockSyncNode") -> None:
+        """Place ``driver`` in the dense slot ``node_id`` (last one wins)."""
+        if node_id < 0:
+            raise ValueError(f"node ids must be non-negative; got {node_id!r}")
+        drivers = self.drivers
+        while len(drivers) <= node_id:
+            drivers.append(None)
+        drivers[node_id] = driver
+
+    def drivers_for(self, node_ids: list[int]) -> list["ClockSyncNode"]:
+        """Resolve ids to drivers, erroring on unregistered slots."""
+        out: list[ClockSyncNode] = []
+        for nid in node_ids:
+            driver = self.drivers[nid] if 0 <= nid < len(self.drivers) else None
+            if driver is None:
+                raise KeyError(f"no driver registered for node id {nid!r}")
+            out.append(driver)
+        return out
+
+
+def _dispatch_timer(ev: ScheduledEvent) -> None:
+    """Kernel handler for ``KIND_TIMER`` records (``a=driver, b=key``)."""
+    ev.a._fire_timer(ev.b)
 
 
 class ClockSyncNode:
@@ -118,6 +175,13 @@ class ClockSyncNode:
         self._t_last = 0.0
         # Keyed timers.
         self._timers: dict[Any, ScheduledEvent] = {}
+        # Pre-bound hot-path callable (the queue is never swapped; the
+        # clock may be -- adversaries install SteerableClocks -- so clock
+        # methods are always resolved through self.clock).
+        self._push = sim.queue.push_typed
+        # Join the simulator's dense driver table (registers the shared
+        # KIND_TIMER dispatch handler on first use).
+        NodeTable.ensure(sim).register(node_id, self)
         #: Set to a list to capture ``(now_h, event, effects)`` per dispatch
         #: (used by the sim<->live parity tests; ``None`` = off, free).
         self.effect_log: list[EffectLogEntry] | None = None
@@ -179,7 +243,25 @@ class ClockSyncNode:
         self._t_last = now
         if self.effect_log is not None:
             self.effect_log.append((now_h, event, tuple(effects)))
-        self._apply_effects(effects, now_h)
+        # Effect application is inlined here (rather than delegated to
+        # _apply_effects) because this runs once per kernel event; the
+        # shared loop below stays the single definition for out-of-band
+        # core actions.
+        core = self.core
+        for eff in effects:
+            kind = type(eff)
+            if kind is Send:
+                self.transport.send(self.node_id, eff.dest, eff.payload)
+            elif kind is SetTimer:
+                self._arm_timer(eff.key, now_h + eff.delay_h)
+            elif kind is CancelTimer:
+                self.cancel_timer(eff.key)
+            elif kind is JumpL:
+                self.trace.record(
+                    now, "jump", self.node_id, eff.new_value - core.logical_clock_at(core.h_last)
+                )
+                core.apply_jump(eff.new_value)
+            # RaiseLmax is informational: already applied by the core.
 
     def _apply_effects(self, effects: list[Effect], now_h: float) -> None:
         core = self.core
@@ -187,16 +269,12 @@ class ClockSyncNode:
         for eff in effects:
             kind = type(eff)
             if kind is Send:
-                assert isinstance(eff, Send)
                 self.transport.send(self.node_id, eff.dest, eff.payload)
             elif kind is SetTimer:
-                assert isinstance(eff, SetTimer)
                 self._arm_timer(eff.key, now_h + eff.delay_h)
             elif kind is CancelTimer:
-                assert isinstance(eff, CancelTimer)
                 self.cancel_timer(eff.key)
             elif kind is JumpL:
-                assert isinstance(eff, JumpL)
                 self.trace.record(
                     now, "jump", self.node_id, eff.new_value - core.logical_clock_at(core.h_last)
                 )
@@ -218,15 +296,20 @@ class ClockSyncNode:
         self._arm_timer(key, self.clock.value(self.sim.now) + dt_subjective)
 
     def _arm_timer(self, key: Any, target_h: float) -> None:
-        self.cancel_timer(key)
+        sim = self.sim
+        prev = self._timers.pop(key, None)
+        if prev is not None:
+            sim.queue.cancel(prev)
         fire_t = self.clock.time_at(target_h)
-        handle = self.sim.schedule_at(
-            max(fire_t, self.sim.now),
-            lambda: self._fire_timer(key),
-            priority=PRIORITY_TIMER,
-            label=f"timer:{key}",
+        now = sim.now
+        if fire_t < now:
+            fire_t = now
+        # Typed record, no closure: the kernel routes KIND_TIMER through
+        # the shared dispatcher, which calls _fire_timer(key).
+        self._timers[key] = self._push(
+            fire_t, PRIORITY_TIMER, KIND_TIMER, self, key, None, None,
+            None, "timer",
         )
-        self._timers[key] = handle
 
     def cancel_timer(self, key: Any) -> bool:
         """Cancel pending timer ``key`` (returns whether one was pending)."""

@@ -48,7 +48,6 @@ the same handler depends on it) and emitted purely as an observable record.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable, Hashable, Union
 
 from ..params import SystemParams
@@ -92,40 +91,105 @@ class ProtocolError(RuntimeError):
 # --------------------------------------------------------------------- #
 # Input events
 # --------------------------------------------------------------------- #
+#
+# Events and effects are plain __slots__ value classes rather than frozen
+# dataclasses: one is allocated per kernel event on the hottest path in the
+# repository, and a frozen dataclass pays object.__setattr__ per field.
+# They are immutable by convention (nothing mutates them after
+# construction) and keep dataclass-style equality/repr/hash so effect
+# streams remain comparable in the sim<->live parity tests.
 
 
-@dataclass(frozen=True, slots=True)
 class Start:
     """The node comes alive (dispatched exactly once, first)."""
 
+    __slots__ = ()
 
-@dataclass(frozen=True, slots=True)
+    def __repr__(self) -> str:
+        return "Start()"
+
+    def __eq__(self, other: object) -> bool:
+        return type(other) is Start
+
+    def __hash__(self) -> int:
+        return hash(Start)
+
+
 class MessageReceived:
     """A message from ``sender`` arrived."""
 
-    sender: int
-    payload: Update
+    __slots__ = ("sender", "payload")
+
+    def __init__(self, sender: int, payload: Update) -> None:
+        self.sender = sender
+        self.payload = payload
+
+    def __repr__(self) -> str:
+        return f"MessageReceived(sender={self.sender!r}, payload={self.payload!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            type(other) is MessageReceived
+            and self.sender == other.sender
+            and self.payload == other.payload
+        )
+
+    def __hash__(self) -> int:
+        return hash((MessageReceived, self.sender, self.payload))
 
 
-@dataclass(frozen=True, slots=True)
 class DiscoverAdd:
     """``discover(add({u, other}))`` -- an incident edge appeared."""
 
-    other: int
+    __slots__ = ("other",)
+
+    def __init__(self, other: int) -> None:
+        self.other = other
+
+    def __repr__(self) -> str:
+        return f"DiscoverAdd(other={self.other!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return type(other) is DiscoverAdd and self.other == other.other
+
+    def __hash__(self) -> int:
+        return hash((DiscoverAdd, self.other))
 
 
-@dataclass(frozen=True, slots=True)
 class DiscoverRemove:
     """``discover(remove({u, other}))`` -- an incident edge vanished."""
 
-    other: int
+    __slots__ = ("other",)
+
+    def __init__(self, other: int) -> None:
+        self.other = other
+
+    def __repr__(self) -> str:
+        return f"DiscoverRemove(other={self.other!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return type(other) is DiscoverRemove and self.other == other.other
+
+    def __hash__(self) -> int:
+        return hash((DiscoverRemove, self.other))
 
 
-@dataclass(frozen=True, slots=True)
 class TimerFired:
     """Subjective timer ``key`` expired."""
 
-    key: TimerKey
+    __slots__ = ("key",)
+
+    def __init__(self, key: TimerKey) -> None:
+        self.key = key
+
+    def __repr__(self) -> str:
+        return f"TimerFired(key={self.key!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return type(other) is TimerFired and self.key == other.key
+
+    def __hash__(self) -> int:
+        return hash((TimerFired, self.key))
 
 
 Event = Union[Start, MessageReceived, DiscoverAdd, DiscoverRemove, TimerFired]
@@ -136,15 +200,29 @@ Event = Union[Start, MessageReceived, DiscoverAdd, DiscoverRemove, TimerFired]
 # --------------------------------------------------------------------- #
 
 
-@dataclass(frozen=True, slots=True)
 class Send:
     """Transmit ``payload`` to neighbour ``dest``."""
 
-    dest: int
-    payload: Update
+    __slots__ = ("dest", "payload")
+
+    def __init__(self, dest: int, payload: Update) -> None:
+        self.dest = dest
+        self.payload = payload
+
+    def __repr__(self) -> str:
+        return f"Send(dest={self.dest!r}, payload={self.payload!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            type(other) is Send
+            and self.dest == other.dest
+            and self.payload == other.payload
+        )
+
+    def __hash__(self) -> int:
+        return hash((Send, self.dest, self.payload))
 
 
-@dataclass(frozen=True, slots=True)
 class SetTimer:
     """(Re-)arm timer ``key`` to fire after ``delay_h`` *subjective* units.
 
@@ -152,18 +230,44 @@ class SetTimer:
     is what the pseudocode's ``set timer(dt, id)`` means.
     """
 
-    key: TimerKey
-    delay_h: float
+    __slots__ = ("key", "delay_h")
+
+    def __init__(self, key: TimerKey, delay_h: float) -> None:
+        self.key = key
+        self.delay_h = delay_h
+
+    def __repr__(self) -> str:
+        return f"SetTimer(key={self.key!r}, delay_h={self.delay_h!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            type(other) is SetTimer
+            and self.key == other.key
+            and self.delay_h == other.delay_h
+        )
+
+    def __hash__(self) -> int:
+        return hash((SetTimer, self.key, self.delay_h))
 
 
-@dataclass(frozen=True, slots=True)
 class CancelTimer:
     """Cancel timer ``key`` if pending (no-op otherwise)."""
 
-    key: TimerKey
+    __slots__ = ("key",)
+
+    def __init__(self, key: TimerKey) -> None:
+        self.key = key
+
+    def __repr__(self) -> str:
+        return f"CancelTimer(key={self.key!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return type(other) is CancelTimer and self.key == other.key
+
+    def __hash__(self) -> int:
+        return hash((CancelTimer, self.key))
 
 
-@dataclass(frozen=True, slots=True)
 class JumpL:
     """Discretely raise ``L`` to ``new_value``.
 
@@ -171,14 +275,37 @@ class JumpL:
     reach this effect in the list (see module docstring).
     """
 
-    new_value: float
+    __slots__ = ("new_value",)
+
+    def __init__(self, new_value: float) -> None:
+        self.new_value = new_value
+
+    def __repr__(self) -> str:
+        return f"JumpL(new_value={self.new_value!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return type(other) is JumpL and self.new_value == other.new_value
+
+    def __hash__(self) -> int:
+        return hash((JumpL, self.new_value))
 
 
-@dataclass(frozen=True, slots=True)
 class RaiseLmax:
     """``Lmax`` was raised to ``new_value`` (informational; already applied)."""
 
-    new_value: float
+    __slots__ = ("new_value",)
+
+    def __init__(self, new_value: float) -> None:
+        self.new_value = new_value
+
+    def __repr__(self) -> str:
+        return f"RaiseLmax(new_value={self.new_value!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return type(other) is RaiseLmax and self.new_value == other.new_value
+
+    def __hash__(self) -> int:
+        return hash((RaiseLmax, self.new_value))
 
 
 Effect = Union[Send, SetTimer, CancelTimer, JumpL, RaiseLmax]
@@ -234,7 +361,13 @@ class ProtocolCore:
                 f"node {self.node_id}: previous JumpL effect was never applied; "
                 "drivers must call apply_jump() for every emitted JumpL"
             )
-        self.sync_to(now_h)
+        # sync_to, inlined: this runs once per kernel event.
+        dh = now_h - self.h_last
+        if dh != 0.0:
+            self._L += dh
+            self._Lmax += dh
+            self._advance_estimates(dh)
+            self.h_last = now_h
         out: list[Effect] = []
         self._out = out
         try:
@@ -281,16 +414,25 @@ class ProtocolCore:
         self._out.append(effect)
 
     def _send(self, dest: int, payload: Update) -> None:
+        out = self._out
+        if out is None:  # pragma: no cover - defensive
+            raise ProtocolError("effects may only be emitted inside handle()")
         self.messages_sent += 1
-        self._emit(Send(dest, payload))
+        out.append(Send(dest, payload))
 
     def _set_timer(self, key: TimerKey, delay_h: float) -> None:
+        out = self._out
+        if out is None:  # pragma: no cover - defensive
+            raise ProtocolError("effects may only be emitted inside handle()")
         if delay_h < 0.0:
             raise ValueError(f"subjective delay must be >= 0; got {delay_h!r}")
-        self._emit(SetTimer(key, delay_h))
+        out.append(SetTimer(key, delay_h))
 
     def _cancel_timer(self, key: TimerKey) -> None:
-        self._emit(CancelTimer(key))
+        out = self._out
+        if out is None:  # pragma: no cover - defensive
+            raise ProtocolError("effects may only be emitted inside handle()")
+        out.append(CancelTimer(key))
 
     def _raise_max(self, candidate: float) -> None:
         """Raise ``Lmax`` to ``candidate`` if larger (applied immediately)."""
@@ -390,6 +532,13 @@ class DCSACore(ProtocolCore):
         #: Gamma_u with C^v_u and L^v_u.
         self.gamma = NeighborTable()
         self._tick_stagger = float(tick_stagger)
+        # Hot-path constants: params exposes these as derived properties
+        # whose arithmetic would otherwise be recomputed on every message
+        # and every AdjustClock evaluation.
+        self._b0 = params.b0
+        self._b_intercept = params.b_intercept
+        self._b_slope = params.b_slope
+        self._delta_t_prime = params.delta_t_prime
 
     def _advance_estimates(self, dh: float) -> None:
         self.gamma.advance(dh)
@@ -419,14 +568,16 @@ class DCSACore(ProtocolCore):
         """``when receive(<L_v, Lmax_v>)``: track/refresh, adopt max, adjust."""
         l_v, lmax_v = payload
         self._cancel_timer(("lost", v))
-        if v not in self.gamma:
+        row = self.gamma.get(v)
+        if row is None:
             # Lines 17-19: v (re-)enters Gamma; C^v_u := H_u now.
             self.gamma.add(v, added_h=self.h_last, l_est=l_v)
-        else:
-            self.gamma.refresh(v, l_v)
+        elif l_v > row.l_est:
+            # NeighborTable.refresh, inlined: the estimate is monotone.
+            row.l_est = l_v
         self._raise_max(lmax_v)
         self._adjust_clock()
-        self._set_timer(("lost", v), self.params.delta_t_prime)
+        self._set_timer(("lost", v), self._delta_t_prime)
 
     def _on_timer(self, key: TimerKey) -> None:
         if key == _TICK:
@@ -471,12 +622,22 @@ class DCSACore(ProtocolCore):
         return self.params.b_function(self.h_last - row.added_h)
 
     def _adjust_clock(self) -> None:
-        """Procedure ``AdjustClock`` -- the one-line clock rule."""
+        """Procedure ``AdjustClock`` -- the one-line clock rule.
+
+        Inlines ``params.b_function`` against the constants cached at
+        construction: ``B(age) = max(B0, intercept - slope * age)``,
+        bit-identical to the property-chained form.
+        """
         ceiling = self._Lmax
-        b = self.params.b_function
         h = self.h_last
-        for _v, row in self.gamma.items():
-            cand = row.l_est + b(h - row.added_h)
+        b0 = self._b0
+        intercept = self._b_intercept
+        slope = self._b_slope
+        for row in self.gamma.rows():
+            b = intercept - slope * (h - row.added_h)
+            if b < b0:
+                b = b0
+            cand = row.l_est + b
             if cand < ceiling:
                 ceiling = cand
         self._request_jump(ceiling)  # no-op when ceiling <= L
@@ -545,8 +706,8 @@ class StaticGradientCore(DCSACore):
 
     def _adjust_clock(self) -> None:
         ceiling = self._Lmax
-        b0 = self.params.b0
-        for _v, row in self.gamma.items():
+        b0 = self._b0
+        for row in self.gamma.rows():
             cand = row.l_est + b0
             if cand < ceiling:
                 ceiling = cand

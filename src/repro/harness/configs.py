@@ -28,6 +28,9 @@ __all__ = [
     "static_path",
     "static_ring",
     "large_ring",
+    "huge_ring",
+    "huge_grid",
+    "huge_churn_ring",
     "static_grid",
     "backbone_churn",
     "rotating_backbone",
@@ -124,6 +127,124 @@ def large_ring(
         record=record,
         oracle=OracleRef("standard", {}) if oracle else None,
         name=f"large_ring(n={n}, horizon={horizon}, {algorithm})",
+    )
+
+
+def huge_ring(
+    n: int = 4096,
+    *,
+    horizon: float = 30.0,
+    seed: int = 0,
+    algorithm: str = "dcsa",
+    clock_spec: str = "uniform",
+    sample_interval: float = 5.0,
+    oracle: bool = True,
+    b0: float | None = None,
+) -> ExperimentConfig:
+    """A production-scale ring (default n=4096, tested up to n=10000).
+
+    The typed-event kernel's flagship workload (docs/performance.md): no
+    recorder, per-node constant drift drawn from the envelope, streaming
+    oracle on by default (its envelope monitor tracks all ``n`` ring edges
+    incrementally), coarse sampling.  Events scale as ``O(n * horizon)``,
+    so the default is a sub-minute run at n=4096 and the CI throughput
+    smoke gate rides on it; push ``n`` to 10000 for the large-diameter
+    regimes of the paper's bounds (``G(n)`` grows linearly -- measuring it
+    is only interesting when ``n-1`` hops exist to accumulate skew).
+    """
+    return ExperimentConfig(
+        params=_params(n, b0),
+        initial_edges=ring_edges(n),
+        algorithm=algorithm,
+        clock_spec=clock_spec,
+        horizon=horizon,
+        sample_interval=sample_interval,
+        seed=seed,
+        track_edges=False,
+        record=False,
+        oracle=OracleRef("standard", {}) if oracle else None,
+        name=f"huge_ring(n={n}, horizon={horizon}, {algorithm})",
+    )
+
+
+def huge_grid(
+    rows: int = 64,
+    cols: int = 64,
+    *,
+    horizon: float = 30.0,
+    seed: int = 0,
+    algorithm: str = "dcsa",
+    clock_spec: str = "uniform",
+    sample_interval: float = 5.0,
+    oracle: bool = True,
+    b0: float | None = None,
+) -> ExperimentConfig:
+    """A production-scale grid (default 64x64 = 4096 nodes).
+
+    Denser than :func:`huge_ring` (~2 edges per node, heavier per-tick
+    fan-out and twice the envelope-monitor edge table) with diameter
+    ``rows + cols``; same recorder-off, oracle-on scale posture.
+    """
+    n = rows * cols
+    return ExperimentConfig(
+        params=_params(n, b0),
+        initial_edges=grid_edges(rows, cols),
+        algorithm=algorithm,
+        clock_spec=clock_spec,
+        horizon=horizon,
+        sample_interval=sample_interval,
+        seed=seed,
+        track_edges=False,
+        record=False,
+        oracle=OracleRef("standard", {}) if oracle else None,
+        name=f"huge_grid({rows}x{cols}, {algorithm})",
+    )
+
+
+def huge_churn_ring(
+    n: int = 4096,
+    *,
+    k_extra: int = 16,
+    rewire_interval: float = 1.0,
+    horizon: float = 30.0,
+    seed: int = 0,
+    algorithm: str = "dcsa",
+    clock_spec: str = "uniform",
+    sample_interval: float = 5.0,
+    oracle: bool = True,
+    b0: float | None = None,
+) -> ExperimentConfig:
+    """A production-scale ring under continuous random rewiring.
+
+    The protected ring backbone keeps the connectivity premise while
+    ``k_extra`` chord edges are rewired every ``rewire_interval``,
+    exercising the discovery pipeline, Gamma eviction and the envelope
+    monitor's incremental add/remove path at scale.
+    """
+    backbone = ring_edges(n)
+    churn = ChurnRef(
+        "random_rewirer",
+        {
+            "n": n,
+            "k_extra": k_extra,
+            "interval": rewire_interval,
+            "protected": backbone,
+            "horizon": horizon,
+        },
+    )
+    return ExperimentConfig(
+        params=_params(n, b0),
+        initial_edges=backbone,
+        algorithm=algorithm,
+        clock_spec=clock_spec,
+        churn=[churn],
+        horizon=horizon,
+        sample_interval=sample_interval,
+        seed=seed,
+        track_edges=False,
+        record=False,
+        oracle=OracleRef("standard", {}) if oracle else None,
+        name=f"huge_churn_ring(n={n}, {algorithm})",
     )
 
 
@@ -687,6 +808,9 @@ WORKLOADS = {
     "static_path": static_path,
     "static_ring": static_ring,
     "large_ring": large_ring,
+    "huge_ring": huge_ring,
+    "huge_grid": huge_grid,
+    "huge_churn_ring": huge_churn_ring,
     "static_grid": static_grid,
     "backbone_churn": backbone_churn,
     "rotating_backbone": rotating_backbone,

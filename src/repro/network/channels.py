@@ -66,7 +66,15 @@ class ConstantDelay(DelayPolicy):
 
 
 class UniformDelay(DelayPolicy):
-    """I.i.d. uniform delays in ``[lo, hi]``."""
+    """I.i.d. uniform delays in ``[lo, hi]``.
+
+    Draws are taken from the generator in batches: ``Generator.uniform``
+    consumes its bit stream element-wise, so a batch of ``k`` draws is
+    bit-identical to ``k`` sequential scalar draws (pinned by a test) while
+    amortising the numpy call overhead across the delivery hot path.
+    """
+
+    _BATCH = 1024
 
     def __init__(self, lo: float, hi: float, rng: np.random.Generator) -> None:
         if not (0.0 <= lo <= hi):
@@ -74,11 +82,17 @@ class UniformDelay(DelayPolicy):
         self.lo = float(lo)
         self.hi = float(hi)
         self._rng = rng
+        self._buf: list[float] = []
 
     def delay(self, u: int, v: int, t: float) -> float:
         if self.lo == self.hi:
             return self.lo
-        return float(self._rng.uniform(self.lo, self.hi))
+        buf = self._buf
+        if not buf:
+            # Reversed so pop() (O(1), from the end) yields stream order;
+            # tolist() materialises python floats (same bit patterns).
+            buf.extend(self._rng.uniform(self.lo, self.hi, size=self._BATCH)[::-1].tolist())
+        return buf.pop()
 
     def max_bound(self) -> float:
         return self.hi

@@ -30,7 +30,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-from ..sim.events import PRIORITY_TOPOLOGY
+from ..sim.events import KIND_TOPOLOGY, PRIORITY_TOPOLOGY
 from ..sim.simulator import Simulator
 from .graph import DynamicGraph, edge_key
 
@@ -72,21 +72,15 @@ class ScriptedChurn(ChurnProcess):
                 raise ValueError(f"negative event time {t!r}")
 
     def install(self, sim: Simulator, graph: DynamicGraph) -> None:
+        # Typed KIND_TOPOLOGY records (a=graph, b=added, c=u, d=v): the
+        # kernel's built-in handler applies the mutation at sim.now, so no
+        # closure is allocated per scripted event.
         for time, op, u, v in self.events:
-            if op == "add":
-                sim.schedule_at(
-                    time,
-                    (lambda uu=u, vv=v: graph.add_edge(uu, vv, sim.now)),
-                    priority=PRIORITY_TOPOLOGY,
-                    label="churn_add",
-                )
-            else:
-                sim.schedule_at(
-                    time,
-                    (lambda uu=u, vv=v: graph.remove_edge(uu, vv, sim.now)),
-                    priority=PRIORITY_TOPOLOGY,
-                    label="churn_remove",
-                )
+            added = op == "add"
+            sim.schedule_typed(
+                time, PRIORITY_TOPOLOGY, KIND_TOPOLOGY, graph, added, u, v,
+                None, "churn_add" if added else "churn_remove",
+            )
 
 
 class EdgeFlapper(ChurnProcess):

@@ -36,7 +36,14 @@ class ConstantDiscovery(DiscoveryPolicy):
 
 
 class UniformDiscovery(DiscoveryPolicy):
-    """I.i.d. uniform latencies in ``[lo, hi]`` (``hi <= discovery_bound``)."""
+    """I.i.d. uniform latencies in ``[lo, hi]`` (``hi <= discovery_bound``).
+
+    Like :class:`~repro.network.channels.UniformDelay`, draws are batched:
+    ``Generator.uniform`` consumes its stream element-wise, so batches are
+    bit-identical to sequential scalar draws.
+    """
+
+    _BATCH = 256
 
     def __init__(self, lo: float, hi: float, rng: np.random.Generator) -> None:
         if not (0.0 <= lo <= hi):
@@ -44,8 +51,12 @@ class UniformDiscovery(DiscoveryPolicy):
         self.lo = float(lo)
         self.hi = float(hi)
         self._rng = rng
+        self._buf: list[float] = []
 
     def latency(self, node: int, other: int, added: bool, t: float) -> float:
         if self.lo == self.hi:
             return self.lo
-        return float(self._rng.uniform(self.lo, self.hi))
+        buf = self._buf
+        if not buf:
+            buf.extend(self._rng.uniform(self.lo, self.hi, size=self._BATCH)[::-1].tolist())
+        return buf.pop()

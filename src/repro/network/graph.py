@@ -64,6 +64,10 @@ class DynamicGraph:
         # Per-edge history: key -> (times list, added flags list), parallel.
         self._hist_t: dict[Edge, list[float]] = {}
         self._hist_a: dict[Edge, list[bool]] = {}
+        # Edges that have ever seen a remove event: the delivery hot path
+        # asks removed_during() once per message, and on stable topologies
+        # the answer is decided by this set without touching the history.
+        self._ever_removed: set[Edge] = set()
         self._listeners: list[Callable[[float, int, int, bool], None]] = []
         self._last_time = 0.0
         self.edge_events = 0
@@ -163,6 +167,7 @@ class DynamicGraph:
         self._adj[v].discard(u)
         self._hist_t[key].append(time)
         self._hist_a[key].append(False)
+        self._ever_removed.add(key)
         self._last_time = time
         self.edge_events += 1
         for fn in self._listeners:
@@ -219,14 +224,19 @@ class DynamicGraph:
 
     def removed_during(self, u: int, v: int, t1: float, t2: float) -> bool:
         """Whether any remove event hit the edge in the window ``(t1, t2]``."""
-        key = edge_key(u, v)
+        key = (u, v) if u <= v else (v, u)
+        if key not in self._ever_removed:
+            return False
         ts = self._hist_t.get(key)
         if not ts:
             return False
         flags = self._hist_a[key]
         lo = bisect_right(ts, t1)
         hi = bisect_right(ts, t2)
-        return any(not flags[i] for i in range(lo, hi))
+        for i in range(lo, hi):
+            if not flags[i]:
+                return True
+        return False
 
     def exists_throughout(self, u: int, v: int, t1: float, t2: float) -> bool:
         """Whether the edge exists at ``t1`` and is never removed in ``[t1, t2]``.

@@ -20,6 +20,14 @@ a :class:`~repro.network.graph.DynamicGraph`, a
   are verified at fire time and silently skipped if already reversed, which
   realises the model's "may or may not be detected".
 
+The transport is a *typed-kernel subsystem*: it registers the
+:data:`~repro.sim.events.KIND_DELIVER` and
+:data:`~repro.sim.events.KIND_DISCOVER` dispatch handlers on its simulator
+and schedules payload-carrying records instead of per-message closures, so
+the hot delivery path allocates no closures and recycles its event records
+(see docs/performance.md).  Registered node implementations are additionally
+mirrored into a dense list keyed by node id for O(1) list-indexed dispatch.
+
 Nodes registered with the transport must provide three callbacks::
 
     on_message(sender: int, payload) -> None
@@ -33,7 +41,7 @@ from __future__ import annotations
 
 from typing import Any, Protocol
 
-from ..sim.events import PRIORITY_DELIVERY
+from ..sim.events import KIND_DELIVER, KIND_DISCOVER, PRIORITY_DELIVERY, ScheduledEvent
 from ..sim.simulator import Simulator
 from ..sim.tracing import NULL_TRACE, TraceRecorder
 from .channels import DelayPolicy
@@ -113,10 +121,21 @@ class Transport:
         self.max_delay = float(max_delay)
         self.discovery_bound = float(discovery_bound)
         self.trace = trace if trace is not None else NULL_TRACE
+        #: Hot-path trace target (``None`` when tracing is disabled, so the
+        #: per-message fast path skips even the no-op record calls).
+        self._trace = self.trace if self.trace.enabled else None
         self.stats = TransportStats()
         self._nodes: dict[int, NodeInterface] = {}
+        #: Dense mirror of ``_nodes`` keyed by node id (``None`` = empty slot).
+        self._node_seq: list[NodeInterface | None] = []
         self._fifo_last: dict[tuple[int, int], float] = {}
         self._pending_absence: set[tuple[int, int]] = set()
+        # Pre-bound hot-path callables (saves attribute chains per message).
+        self._has_edge = graph.has_edge
+        self._removed_during = graph.removed_during
+        self._push = sim.queue.push_typed
+        sim.set_handler(KIND_DELIVER, self._handle_deliver)
+        sim.set_handler(KIND_DISCOVER, self._handle_discover)
         graph.subscribe(self._on_graph_event)
 
     # ------------------------------------------------------------------ #
@@ -130,6 +149,10 @@ class Transport:
         if node_id in self._nodes:
             raise ValueError(f"node {node_id!r} already registered")
         self._nodes[node_id] = node
+        seq = self._node_seq
+        while len(seq) <= node_id:
+            seq.append(None)
+        seq[node_id] = node
 
     def node(self, node_id: int) -> NodeInterface:
         """The node implementation registered for ``node_id``."""
@@ -153,10 +176,12 @@ class Transport:
     def send(self, u: int, v: int, payload: Any) -> None:
         """Send ``payload`` from ``u`` to ``v`` under the Section 3.2 contract."""
         now = self.sim.now
+        trace = self._trace
         self.stats.sent += 1
-        if not self.graph.has_edge(u, v):
+        if not self._has_edge(u, v):
             self.stats.dropped_no_edge += 1
-            self.trace.record(now, "send_fail", u, v)
+            if trace is not None:
+                trace.record(now, "send_fail", u, v)
             self._schedule_absence_discovery(u, v, send_time=now)
             return
         delay = self.delay_policy.delay(u, v, now)
@@ -166,37 +191,46 @@ class Transport:
             )
         t_deliver = now + delay
         link = (u, v)
-        prev = self._fifo_last.get(link, 0.0)
+        fifo = self._fifo_last
+        prev = fifo.get(link, 0.0)
         if t_deliver < prev:
             t_deliver = prev  # FIFO clamp; see module docstring
-        self._fifo_last[link] = t_deliver
-        self.trace.record(now, "send", u, v, t_deliver)
-        self.sim.schedule_at(
-            t_deliver,
-            lambda: self._deliver(u, v, payload, now),
-            priority=PRIORITY_DELIVERY,
-            label="deliver",
+        fifo[link] = t_deliver
+        if trace is not None:
+            trace.record(now, "send", u, v, t_deliver)
+        self._push(
+            t_deliver, PRIORITY_DELIVERY, KIND_DELIVER, u, v, payload, now,
+            None, "deliver",
         )
+
+    def _handle_deliver(self, ev: ScheduledEvent) -> None:
+        """Kernel handler for ``KIND_DELIVER`` records (one call per message)."""
+        self._deliver(ev.a, ev.b, ev.c, ev.d)
 
     def _deliver(self, u: int, v: int, payload: Any, send_time: float) -> None:
         now = self.sim.now
-        if self.graph.removed_during(u, v, send_time, now) or not self.graph.has_edge(u, v):
+        if not self._has_edge(u, v) or self._removed_during(u, v, send_time, now):
             # The edge failed while the message was in flight: drop, and make
             # sure the sender learns within discovery_bound of the send.
             self.stats.dropped_removed += 1
-            self.trace.record(now, "drop_removed", u, v)
+            if self._trace is not None:
+                self._trace.record(now, "drop_removed", u, v)
             self._schedule_absence_discovery(u, v, send_time=send_time)
             return
         self.stats.delivered += 1
-        self.trace.record(now, "recv", v, u)
-        self._nodes[v].on_message(u, payload)
+        if self._trace is not None:
+            self._trace.record(now, "recv", v, u)
+        node = self._node_seq[v]
+        assert node is not None
+        node.on_message(u, payload)
 
     # ------------------------------------------------------------------ #
     # Discovery
     # ------------------------------------------------------------------ #
 
     def _on_graph_event(self, time: float, u: int, v: int, added: bool) -> None:
-        self.trace.record(time, "edge_add" if added else "edge_remove", u, v)
+        if self._trace is not None:
+            self._trace.record(time, "edge_add" if added else "edge_remove", u, v)
         self._schedule_discovery(u, v, added=added, change_time=time)
         self._schedule_discovery(v, u, added=added, change_time=time)
 
@@ -211,22 +245,10 @@ class Transport:
                 f"discovery latency {lat!r} outside [0, {self.discovery_bound}]"
             )
         fire_at = max(change_time + lat, self.sim.now)
-
-        def fire() -> None:
-            # Verify the change still holds; a reversed (transient) change
-            # is allowed to go unnoticed.
-            if self.graph.has_edge(node_id, other) == added:
-                self.stats.discoveries_delivered += 1
-                kind = "discover_add" if added else "discover_remove"
-                self.trace.record(self.sim.now, kind, node_id, other)
-                if added:
-                    self._nodes[node_id].on_discover_add(other)
-                else:
-                    self._nodes[node_id].on_discover_remove(other)
-            else:
-                self.stats.discoveries_skipped += 1
-
-        self.sim.schedule_at(fire_at, fire, priority=PRIORITY_DELIVERY, label="discover")
+        self.sim.queue.push_typed(
+            fire_at, PRIORITY_DELIVERY, KIND_DISCOVER, node_id, other, added,
+            False, None, "discover",
+        )
 
     def _schedule_absence_discovery(self, u: int, v: int, *, send_time: float) -> None:
         """Ensure ``u`` learns edge ``{u, v}`` is gone by ``send_time + D``."""
@@ -239,14 +261,32 @@ class Transport:
         lat = self.discovery_policy.latency(u, v, False, send_time)
         fire_at = min(send_time + lat, send_time + self.discovery_bound)
         fire_at = max(fire_at, self.sim.now)
+        self.sim.queue.push_typed(
+            fire_at, PRIORITY_DELIVERY, KIND_DISCOVER, u, v, False, True,
+            None, "discover",
+        )
 
-        def fire() -> None:
-            self._pending_absence.discard(key)
-            if not self.graph.has_edge(u, v):
-                self.stats.discoveries_delivered += 1
-                self.trace.record(self.sim.now, "discover_remove", u, v)
-                self._nodes[u].on_discover_remove(v)
+    def _handle_discover(self, ev: ScheduledEvent) -> None:
+        """Kernel handler for ``KIND_DISCOVER`` records.
+
+        Verifies the change still holds at fire time; a reversed
+        (transient) change is allowed to go unnoticed.  ``d=True`` marks
+        the dedicated failed-send absence path, which additionally clears
+        its dedup key.
+        """
+        node_id, other, added = ev.a, ev.b, ev.c
+        if ev.d:
+            self._pending_absence.discard((node_id, other))
+        if self.graph.has_edge(node_id, other) == added:
+            self.stats.discoveries_delivered += 1
+            if self._trace is not None:
+                kind = "discover_add" if added else "discover_remove"
+                self._trace.record(self.sim.now, kind, node_id, other)
+            node = self._node_seq[node_id]
+            assert node is not None
+            if added:
+                node.on_discover_add(other)
             else:
-                self.stats.discoveries_skipped += 1
-
-        self.sim.schedule_at(fire_at, fire, priority=PRIORITY_DELIVERY, label="discover")
+                node.on_discover_remove(other)
+        else:
+            self.stats.discoveries_skipped += 1

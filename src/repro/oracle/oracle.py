@@ -167,6 +167,10 @@ class StreamingOracle:
         self._node_ids: list[int] = []
         self._needs_estimates = any(m.requires_estimates for m in self.monitors)
         self._edge_monitors: list[Monitor] = []
+        # Flat per-node reader lists (dense, sorted-id order), bound once at
+        # attach time so each sample skips the dict lookups.
+        self._clock_readers: list[Any] = []
+        self._estimate_readers: list[Any] = []
 
     @staticmethod
     def _resolve(m: str | Monitor) -> Monitor:
@@ -208,6 +212,11 @@ class StreamingOracle:
             )
         self._nodes = dict(nodes)
         self._node_ids = sorted(self._nodes)
+        self._clock_readers = [self._nodes[i].logical_clock for i in self._node_ids]
+        if self._needs_estimates:
+            self._estimate_readers = [
+                self._nodes[i].max_estimate for i in self._node_ids
+            ]
         for monitor in self.monitors:
             monitor.bind(
                 self.params,
@@ -262,16 +271,12 @@ class StreamingOracle:
     def sample(self, t: float) -> None:
         n = len(self._node_ids)
         clocks = np.fromiter(
-            (self._nodes[i].logical_clock(t) for i in self._node_ids),
-            dtype=float,
-            count=n,
+            (read(t) for read in self._clock_readers), dtype=float, count=n
         )
         estimates = None
         if self._needs_estimates:
             estimates = np.fromiter(
-                (self._nodes[i].max_estimate(t) for i in self._node_ids),
-                dtype=float,
-                count=n,
+                (read(t) for read in self._estimate_readers), dtype=float, count=n
             )
         for monitor in self.monitors:
             monitor.on_sample(t, clocks, estimates)

@@ -107,7 +107,7 @@ class PiecewiseRateClock(HardwareClock):
     query segment is located by binary search, O(log k) per query.
     """
 
-    __slots__ = ("_times", "_rates", "_values")
+    __slots__ = ("_times", "_rates", "_values", "_hint")
 
     def __init__(self, times: Sequence[float], rates: Sequence[float]) -> None:
         if len(times) != len(rates):
@@ -129,6 +129,9 @@ class PiecewiseRateClock(HardwareClock):
             dt = self._times[i] - self._times[i - 1]
             values.append(values[-1] + self._rates[i - 1] * dt)
         self._values = values
+        # Last-hit segment index: kernel queries are near-monotone in time,
+        # so the previous segment answers most lookups without a bisect.
+        self._hint = 0
 
     @property
     def segment_times(self) -> list[float]:
@@ -143,16 +146,24 @@ class PiecewiseRateClock(HardwareClock):
     def value(self, t: float) -> float:
         if t < 0.0:
             raise ValueError(f"time must be non-negative; got {t!r}")
-        i = bisect_right(self._times, t) - 1
-        return self._values[i] + self._rates[i] * (t - self._times[i])
+        times = self._times
+        i = self._hint
+        if not (times[i] <= t and (i + 1 == len(times) or t < times[i + 1])):
+            i = bisect_right(times, t) - 1
+            self._hint = i
+        return self._values[i] + self._rates[i] * (t - times[i])
 
     def time_at(self, h: float) -> float:
         if h < 0.0:
             raise ValueError(f"clock value must be non-negative; got {h!r}")
-        i = bisect_right(self._values, h) - 1
-        if i >= len(self._times):  # pragma: no cover - defensive
-            i = len(self._times) - 1
-        return self._times[i] + (h - self._values[i]) / self._rates[i]
+        values = self._values
+        i = self._hint
+        if not (values[i] <= h and (i + 1 == len(values) or h < values[i + 1])):
+            i = bisect_right(values, h) - 1
+            if i >= len(self._times):  # pragma: no cover - defensive
+                i = len(self._times) - 1
+            self._hint = i
+        return self._times[i] + (h - values[i]) / self._rates[i]
 
     def rate_at(self, t: float) -> float:
         if t < 0.0:
@@ -323,10 +334,10 @@ def random_walk_clock(
         raise ValueError("segment and horizon must be positive")
     k = max(1, int(math.ceil(horizon / segment)))
     times = [i * segment for i in range(k)]
-    rates = []
-    x = rng.uniform(-1.0, 1.0)
+    rates: list[float] = []
+    x = float(rng.uniform(-1.0, 1.0))
     for _ in range(k):
-        x = persistence * x + (1.0 - persistence) * rng.uniform(-1.0, 1.0)
+        x = persistence * x + (1.0 - persistence) * float(rng.uniform(-1.0, 1.0))
         x = min(1.0, max(-1.0, x))
         rates.append(1.0 + rho * x)
     return PiecewiseRateClock(times, rates)

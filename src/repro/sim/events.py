@@ -12,6 +12,23 @@ observes a consistent order:
 * ``PRIORITY_DELIVERY`` -- message deliveries;
 * ``PRIORITY_TIMER`` -- node timers (ticks, lost-timers);
 * ``PRIORITY_SAMPLE`` -- measurement/recorder callbacks (observe last).
+
+**Typed event records.**  Orthogonally to the priority, every record carries
+a ``kind`` tag that selects a kernel-level dispatch handler (see
+:meth:`repro.sim.simulator.Simulator.set_handler`).  The hot subsystems --
+message delivery, discovery, node timers, topology mutations and periodic
+sampling -- schedule *payload-carrying records* instead of per-event
+closures: the payload rides in the generic slots ``a``/``b``/``c``/``d``
+and the handler interprets them.  ``KIND_CALLBACK`` remains the fully
+general escape hatch (``fn`` is a zero-argument callable), used by churn
+processes, adversaries and tests.
+
+Records of every kind except ``KIND_CALLBACK`` are *reusable*: once popped
+and dispatched they return to the queue's free list and back a later push,
+so steady-state simulation allocates no event objects at all.  This is safe
+because handles to non-callback records never escape their owning subsystem
+(the sim driver holds timer handles only while the timer is pending and
+drops them before dispatch/cancellation completes).
 """
 
 from __future__ import annotations
@@ -23,6 +40,14 @@ __all__ = [
     "PRIORITY_DELIVERY",
     "PRIORITY_TIMER",
     "PRIORITY_SAMPLE",
+    "KIND_CALLBACK",
+    "KIND_DELIVER",
+    "KIND_TIMER",
+    "KIND_TOPOLOGY",
+    "KIND_SAMPLE",
+    "KIND_DISCOVER",
+    "N_KINDS",
+    "POOLABLE",
     "ScheduledEvent",
 ]
 
@@ -31,9 +56,29 @@ PRIORITY_DELIVERY = 1
 PRIORITY_TIMER = 2
 PRIORITY_SAMPLE = 3
 
+#: Generic closure event (``fn`` is a zero-argument callable).  Never pooled:
+#: its handle escapes to arbitrary caller code.
+KIND_CALLBACK = 0
+#: Message delivery.  Payload: ``a=u, b=v, c=payload, d=send_time``.
+KIND_DELIVER = 1
+#: Subjective node timer.  Payload: ``a=driver, b=timer key``.
+KIND_TIMER = 2
+#: Graph mutation.  Payload: ``a=graph, b=added(bool), c=u, d=v``.
+KIND_TOPOLOGY = 3
+#: Periodic measurement.  Payload: ``fn=callback(now), b=interval, c=end``.
+KIND_SAMPLE = 4
+#: Edge discovery notification.  Payload: ``a=node_id, b=other, c=added,
+#: d=absence(bool)`` (absence = the dedicated failed-send discovery path).
+KIND_DISCOVER = 5
+
+N_KINDS = 6
+
+#: Per-kind recycling eligibility, indexed by kind tag.
+POOLABLE = (False, True, True, True, True, True)
+
 
 class ScheduledEvent:
-    """A pending callback in the event queue.
+    """A pending typed event record in the event queue.
 
     Instances double as *handles*: holding a reference allows cancellation
     via :meth:`repro.sim.queue.EventQueue.cancel` (lazy deletion -- the heap
@@ -46,30 +91,69 @@ class ScheduledEvent:
     priority:
         Tie-break class (see module docstring).
     seq:
-        Monotonic insertion index; the final tie-break.
-    callback:
-        Zero-argument callable invoked when the event fires.  Arguments are
-        bound at scheduling time (closures or ``functools.partial``).
+        Monotonic insertion index; the final tie-break.  Reassigned on every
+        (re-)push, so a reused record sorts by its latest insertion.
+    kind:
+        Dispatch tag (one of the ``KIND_*`` constants).
+    fn:
+        Zero-argument callable for ``KIND_CALLBACK`` records; the periodic
+        callback ``fn(now)`` for ``KIND_SAMPLE``; ``None`` otherwise.
+    a, b, c, d:
+        Kind-specific payload slots (see the ``KIND_*`` docs above).
     cancelled:
         Set by :meth:`EventQueue.cancel`; cancelled events are skipped.
+    queued:
+        Whether the record is currently in the heap; maintained by the
+        queue.  A record that is not queued cannot be cancelled (it already
+        fired or was never pushed).
     """
 
-    __slots__ = ("time", "priority", "seq", "callback", "cancelled", "label")
+    __slots__ = (
+        "time",
+        "priority",
+        "seq",
+        "kind",
+        "fn",
+        "a",
+        "b",
+        "c",
+        "d",
+        "cancelled",
+        "queued",
+        "label",
+    )
 
     def __init__(
         self,
         time: float,
         priority: int,
         seq: int,
-        callback: Callable[[], Any],
+        callback: Callable[..., Any] | None = None,
         label: str = "",
+        *,
+        kind: int = KIND_CALLBACK,
+        a: Any = None,
+        b: Any = None,
+        c: Any = None,
+        d: Any = None,
     ) -> None:
         self.time = time
         self.priority = priority
         self.seq = seq
-        self.callback = callback
+        self.kind = kind
+        self.fn = callback
+        self.a = a
+        self.b = b
+        self.c = c
+        self.d = d
         self.cancelled = False
+        self.queued = False
         self.label = label
+
+    @property
+    def callback(self) -> Callable[..., Any] | None:
+        """Backward-compatible alias for :attr:`fn`."""
+        return self.fn
 
     @property
     def sort_key(self) -> tuple[float, int, int]:
@@ -84,5 +168,5 @@ class ScheduledEvent:
         lbl = f" {self.label!r}" if self.label else ""
         return (
             f"<ScheduledEvent t={self.time:.6g} prio={self.priority} "
-            f"seq={self.seq}{lbl} {state}>"
+            f"seq={self.seq} kind={self.kind}{lbl} {state}>"
         )

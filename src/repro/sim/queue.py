@@ -1,16 +1,29 @@
-"""A cancellable binary-heap event queue.
+"""A cancellable binary-heap event queue over typed event records.
 
-Supports the three operations the simulator needs, all with standard heap
+Supports the operations the simulator needs, all with standard heap
 complexity:
 
-* :meth:`EventQueue.push` -- O(log m);
-* :meth:`EventQueue.pop` -- amortised O(log m) (skips cancelled entries);
+* :meth:`EventQueue.push` / :meth:`EventQueue.push_typed` -- O(log m);
+* :meth:`EventQueue.pop` / :meth:`EventQueue.pop_until` -- amortised
+  O(log m) (skips cancelled entries);
 * :meth:`EventQueue.cancel` -- O(1) lazy deletion.
 
-Lazy deletion keeps cancelled :class:`~repro.sim.events.ScheduledEvent`
-records in the heap until they surface; this is the classic approach for
-timer-heavy discrete-event workloads (every message receipt cancels and
-re-arms a lost-timer, so cancellation must be cheap).
+Two performance-critical design points:
+
+**Tuple-keyed heap.**  The heap holds ``(time, priority, seq, record)``
+tuples, so every sift comparison is a C-level tuple comparison -- ``seq`` is
+unique, so the record itself is never compared.  This removes the dominant
+cost of the closure-era queue (a Python ``__lt__`` call per comparison).
+
+**Record pooling.**  Popped records of every kind except
+:data:`~repro.sim.events.KIND_CALLBACK` are returned to a free list (see
+:data:`~repro.sim.events.POOLABLE`) and reused by later pushes, so
+steady-state simulation allocates no event objects.  Safety argument:
+handles to poolable records never outlive their heap residency -- the sim
+driver drops timer handles before cancellation/dispatch completes, and the
+other typed kinds never expose handles at all.  Lazy deletion keeps
+cancelled records in the heap until they surface; they join the free list
+only at that point, when no live reference can remain.
 """
 
 from __future__ import annotations
@@ -18,20 +31,24 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable
 
-from .events import ScheduledEvent
+from .events import KIND_CALLBACK, POOLABLE, ScheduledEvent
 
 __all__ = ["EventQueue"]
+
+#: Free-list size cap; beyond this, surplus records are left to the GC.
+_POOL_CAP = 65536
 
 
 class EventQueue:
     """Priority queue of :class:`ScheduledEvent` ordered by (time, prio, seq)."""
 
-    __slots__ = ("_heap", "_seq", "_live")
+    __slots__ = ("_heap", "_seq", "_live", "_free")
 
     def __init__(self) -> None:
-        self._heap: list[ScheduledEvent] = []
+        self._heap: list[tuple[float, int, int, ScheduledEvent]] = []
         self._seq = 0
         self._live = 0
+        self._free: list[ScheduledEvent] = []
 
     def __len__(self) -> int:
         """Number of *live* (non-cancelled) events."""
@@ -45,6 +62,15 @@ class EventQueue:
         """Total heap entries including cancelled ones (for tests/metrics)."""
         return len(self._heap)
 
+    @property
+    def pool_size(self) -> int:
+        """Records currently parked in the free list (for tests/metrics)."""
+        return len(self._free)
+
+    # ------------------------------------------------------------------ #
+    # Scheduling
+    # ------------------------------------------------------------------ #
+
     def push(
         self,
         time: float,
@@ -52,49 +78,163 @@ class EventQueue:
         callback: Callable[[], Any],
         label: str = "",
     ) -> ScheduledEvent:
-        """Schedule ``callback`` at ``time``; returns a cancellable handle."""
-        ev = ScheduledEvent(time, priority, self._seq, callback, label)
-        self._seq += 1
-        heapq.heappush(self._heap, ev)
+        """Schedule a generic ``callback`` at ``time``; returns a handle."""
+        return self.push_typed(
+            time, priority, KIND_CALLBACK, None, None, None, None, callback, label
+        )
+
+    def push_typed(
+        self,
+        time: float,
+        priority: int,
+        kind: int,
+        a: Any = None,
+        b: Any = None,
+        c: Any = None,
+        d: Any = None,
+        fn: Callable[..., Any] | None = None,
+        label: str = "",
+    ) -> ScheduledEvent:
+        """Schedule a typed event record at ``time``; returns a handle.
+
+        The record is drawn from the free list when one is available, so
+        hot paths (deliveries, timers, samples) allocate nothing.
+        """
+        seq = self._seq
+        self._seq = seq + 1
+        free = self._free
+        if free:
+            ev = free.pop()
+            ev.time = time
+            ev.priority = priority
+            ev.seq = seq
+            ev.kind = kind
+            ev.fn = fn
+            ev.a = a
+            ev.b = b
+            ev.c = c
+            ev.d = d
+            ev.cancelled = False
+            ev.label = label
+        else:
+            ev = ScheduledEvent(
+                time, priority, seq, fn, label, kind=kind, a=a, b=b, c=c, d=d
+            )
+        ev.queued = True
+        heapq.heappush(self._heap, (time, priority, seq, ev))
         self._live += 1
         return ev
+
+    def repush(self, ev: ScheduledEvent, time: float) -> None:
+        """Re-insert a just-popped record at ``time`` (periodic re-arm).
+
+        ``ev`` must not currently be queued; it keeps its kind, priority
+        and payload but receives a fresh ``seq`` so tie-breaking reflects
+        the new insertion.
+        """
+        if ev.queued:
+            raise ValueError("cannot repush a record that is still queued")
+        seq = self._seq
+        self._seq = seq + 1
+        ev.time = time
+        ev.seq = seq
+        ev.cancelled = False
+        ev.queued = True
+        heapq.heappush(self._heap, (time, ev.priority, seq, ev))
+        self._live += 1
+
+    # ------------------------------------------------------------------ #
+    # Cancellation
+    # ------------------------------------------------------------------ #
 
     def cancel(self, event: ScheduledEvent) -> bool:
         """Cancel a previously pushed event.
 
-        Returns ``True`` if the event was live and is now cancelled, ``False``
-        if it had already been cancelled (popping an event removes it from
-        the queue, so a handle that already fired cannot be cancelled --
-        callers that re-arm timers always hold the freshest handle).
+        Returns ``True`` if the event was queued and live and is now
+        cancelled, ``False`` if it had already been cancelled or already
+        fired (popping an event removes it from the queue, so a handle that
+        already fired cannot be cancelled -- callers that re-arm timers
+        always hold the freshest handle).
         """
-        if event.cancelled:
+        if event.cancelled or not event.queued:
             return False
         event.cancelled = True
         self._live -= 1
         return True
+
+    # ------------------------------------------------------------------ #
+    # Retrieval
+    # ------------------------------------------------------------------ #
 
     def peek_time(self) -> float | None:
         """Time of the next live event, or ``None`` if the queue is empty."""
         self._drop_cancelled()
         if not self._heap:
             return None
-        return self._heap[0].time
+        return self._heap[0][0]
 
     def pop(self) -> ScheduledEvent | None:
         """Remove and return the next live event (``None`` when empty)."""
         self._drop_cancelled()
         if not self._heap:
             return None
-        ev = heapq.heappop(self._heap)
+        ev = heapq.heappop(self._heap)[3]
+        ev.queued = False
         self._live -= 1
         return ev
 
+    def pop_until(self, t_end: float) -> ScheduledEvent | None:
+        """Pop the next live event with ``time <= t_end`` (else ``None``).
+
+        One heap pass: cancelled heads are dropped (and recycled) along the
+        way.  This is the kernel's hot retrieval path.
+        """
+        heap = self._heap
+        free = self._free
+        poolable = POOLABLE
+        while heap:
+            entry = heap[0]
+            ev = entry[3]
+            if ev.cancelled:
+                heapq.heappop(heap)
+                ev.queued = False
+                if poolable[ev.kind] and len(free) < _POOL_CAP:
+                    ev.fn = ev.a = ev.b = ev.c = ev.d = None
+                    free.append(ev)
+                continue
+            if entry[0] > t_end:
+                return None
+            heapq.heappop(heap)
+            ev.queued = False
+            self._live -= 1
+            return ev
+        return None
+
+    def recycle(self, ev: ScheduledEvent) -> None:
+        """Return a dispatched poolable record to the free list.
+
+        Called by the kernel after dispatch; no-op for callback records and
+        for records the dispatch handler re-queued.
+        """
+        if ev.queued or not POOLABLE[ev.kind]:
+            return
+        if len(self._free) < _POOL_CAP:
+            ev.fn = ev.a = ev.b = ev.c = ev.d = None
+            self._free.append(ev)
+
     def clear(self) -> None:
-        """Drop every pending event."""
+        """Drop every pending event (records are not recycled)."""
+        for entry in self._heap:
+            entry[3].queued = False
         self._heap.clear()
         self._live = 0
 
     def _drop_cancelled(self) -> None:
         heap = self._heap
-        while heap and heap[0].cancelled:
-            heapq.heappop(heap)
+        free = self._free
+        while heap and heap[0][3].cancelled:
+            ev = heapq.heappop(heap)[3]
+            ev.queued = False
+            if POOLABLE[ev.kind] and len(free) < _POOL_CAP:
+                ev.fn = ev.a = ev.b = ev.c = ev.d = None
+                free.append(ev)

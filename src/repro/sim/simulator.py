@@ -4,13 +4,24 @@
 scheduling API every other subsystem builds on.  The design follows the Timed
 I/O Automata flavour of the paper's model (Section 3.2): the *environment*
 (topology changes, message deliveries, discovery notifications) and the
-*nodes* (timer alarms) both manifest as scheduled callbacks; within a single
+*nodes* (timer alarms) both manifest as scheduled events; within a single
 timestamp the kernel orders environment effects before node timers and
 measurement hooks last (see :mod:`repro.sim.events` priorities).
 
+**Typed dispatch.**  Events are tagged records (see
+:mod:`repro.sim.events`): the kernel routes each popped record through a
+per-kind dispatch table instead of calling a per-event closure.  Hot
+subsystems register their handler once (:meth:`Simulator.set_handler`) and
+schedule payload-carrying records via :meth:`Simulator.schedule_typed`; the
+queue recycles those records after dispatch, so the steady state allocates
+no event objects.  ``KIND_CALLBACK`` events (the :meth:`schedule_at` /
+:meth:`schedule_in` API) remain available for cold paths -- churn
+processes, adversaries, tests.
+
 The kernel is deliberately minimal -- no processes, no coroutines -- because
 the workloads here are callback-shaped and performance matters: a benchmark
-execution dispatches hundreds of thousands of events.
+execution dispatches hundreds of thousands to millions of events (see
+docs/performance.md for the kernel design rationale and scaling numbers).
 """
 
 from __future__ import annotations
@@ -18,6 +29,10 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from .events import (
+    KIND_CALLBACK,
+    KIND_SAMPLE,
+    KIND_TOPOLOGY,
+    N_KINDS,
     PRIORITY_SAMPLE,
     PRIORITY_TIMER,
     ScheduledEvent,
@@ -26,6 +41,9 @@ from .queue import EventQueue
 from .tracing import NULL_TRACE, TraceRecorder
 
 __all__ = ["Simulator", "SimulationError"]
+
+#: Kernel dispatch handler: receives the popped record.
+Handler = Callable[[ScheduledEvent], None]
 
 
 class SimulationError(RuntimeError):
@@ -42,9 +60,24 @@ class Simulator:
     max_events:
         Safety valve: :meth:`run_until` raises after dispatching this many
         events (guards against accidental event storms in tests).
+
+    Attributes
+    ----------
+    subsystems:
+        Free-form per-simulation registry used by drivers to attach shared
+        helper objects (e.g. the dense node table of
+        :mod:`repro.core.node`) without the kernel knowing their types.
     """
 
-    __slots__ = ("now", "queue", "trace", "max_events", "events_dispatched")
+    __slots__ = (
+        "now",
+        "queue",
+        "trace",
+        "max_events",
+        "events_dispatched",
+        "subsystems",
+        "_handlers",
+    )
 
     def __init__(
         self,
@@ -56,6 +89,33 @@ class Simulator:
         self.trace = trace if trace is not None else NULL_TRACE
         self.max_events = max_events
         self.events_dispatched = 0
+        self.subsystems: dict[str, Any] = {}
+        handlers: list[Handler | None] = [None] * N_KINDS
+        handlers[KIND_SAMPLE] = self._handle_sample
+        handlers[KIND_TOPOLOGY] = self._handle_topology
+        self._handlers = handlers
+
+    # ------------------------------------------------------------------ #
+    # Dispatch table
+    # ------------------------------------------------------------------ #
+
+    def set_handler(self, kind: int, handler: Handler) -> None:
+        """Register the dispatch handler for a typed event ``kind``.
+
+        Each kind has exactly one handler per simulator; registering the
+        same handler again is a no-op, a *different* handler raises (two
+        subsystems cannot share a kind).  ``KIND_CALLBACK`` is dispatched
+        by the kernel itself and cannot be overridden.
+        """
+        if not 0 <= kind < N_KINDS or kind == KIND_CALLBACK:
+            raise SimulationError(f"invalid handler kind {kind!r}")
+        existing = self._handlers[kind]
+        if existing is not None and existing != handler:
+            raise SimulationError(
+                f"kind {kind} already has a handler ({existing!r}); "
+                "one subsystem per kind per simulator"
+            )
+        self._handlers[kind] = handler
 
     # ------------------------------------------------------------------ #
     # Scheduling
@@ -94,6 +154,32 @@ class Simulator:
             raise SimulationError(f"delay must be non-negative; got {delay!r}")
         return self.queue.push(self.now + delay, priority, callback, label)
 
+    def schedule_typed(
+        self,
+        time: float,
+        priority: int,
+        kind: int,
+        a: Any = None,
+        b: Any = None,
+        c: Any = None,
+        d: Any = None,
+        fn: Callable[..., Any] | None = None,
+        label: str = "",
+    ) -> ScheduledEvent:
+        """Schedule a typed, payload-carrying event record (hot path).
+
+        The record is dispatched through the handler registered for
+        ``kind`` (see :meth:`set_handler`) and recycled afterwards for
+        poolable kinds -- callers must not retain handles past dispatch
+        except under the timer discipline documented in
+        :mod:`repro.sim.events`.
+        """
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time!r} < now={self.now!r}"
+            )
+        return self.queue.push_typed(time, priority, kind, a, b, c, d, fn, label)
+
     def cancel(self, event: ScheduledEvent) -> bool:
         """Cancel a scheduled event (returns whether it was still live)."""
         return self.queue.cancel(event)
@@ -101,6 +187,31 @@ class Simulator:
     # ------------------------------------------------------------------ #
     # Execution
     # ------------------------------------------------------------------ #
+
+    def _dispatch(self, ev: ScheduledEvent) -> None:
+        """Advance the clock to ``ev`` and run it through the dispatch table."""
+        self.now = ev.time
+        self.events_dispatched += 1
+        if self.events_dispatched > self.max_events:
+            raise SimulationError(
+                f"exceeded max_events={self.max_events}; runaway simulation?"
+            )
+        kind = ev.kind
+        if kind == KIND_CALLBACK:
+            fn = ev.fn
+            if fn is None:  # pragma: no cover - defensive
+                raise SimulationError("callback event without a callable")
+            fn()
+        else:
+            handler = self._handlers[kind]
+            if handler is None:
+                raise SimulationError(
+                    f"no handler registered for event kind {kind} "
+                    f"(label={ev.label!r})"
+                )
+            handler(ev)
+            if not ev.queued:
+                self.queue.recycle(ev)
 
     def step(self) -> bool:
         """Dispatch the single next event.
@@ -112,13 +223,7 @@ class Simulator:
             return False
         if ev.time < self.now:  # pragma: no cover - defensive
             raise SimulationError("event queue returned an event in the past")
-        self.now = ev.time
-        self.events_dispatched += 1
-        if self.events_dispatched > self.max_events:
-            raise SimulationError(
-                f"exceeded max_events={self.max_events}; runaway simulation?"
-            )
-        ev.callback()
+        self._dispatch(ev)
         return True
 
     def run_until(self, t_end: float) -> None:
@@ -133,12 +238,39 @@ class Simulator:
             raise SimulationError(
                 f"cannot run to t={t_end!r} < now={self.now!r}"
             )
+        # The kernel's hottest loop: _dispatch is inlined here (step() keeps
+        # the single-step definition for callers that need it).
         queue = self.queue
+        pop_until = queue.pop_until
+        recycle = queue.recycle
+        handlers = self._handlers
+        max_events = self.max_events
         while True:
-            nxt = queue.peek_time()
-            if nxt is None or nxt > t_end:
+            ev = pop_until(t_end)
+            if ev is None:
                 break
-            self.step()
+            self.now = ev.time
+            self.events_dispatched += 1
+            if self.events_dispatched > max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events}; runaway simulation?"
+                )
+            kind = ev.kind
+            if kind == KIND_CALLBACK:
+                fn = ev.fn
+                if fn is None:  # pragma: no cover - defensive
+                    raise SimulationError("callback event without a callable")
+                fn()
+            else:
+                handler = handlers[kind]
+                if handler is None:
+                    raise SimulationError(
+                        f"no handler registered for event kind {kind} "
+                        f"(label={ev.label!r})"
+                    )
+                handler(ev)
+                if not ev.queued:
+                    recycle(ev)
         self.now = t_end
 
     def run_until_idle(self, t_cap: float | None = None) -> None:
@@ -151,6 +283,28 @@ class Simulator:
                 self.now = t_cap
                 return
             self.step()
+
+    # ------------------------------------------------------------------ #
+    # Built-in typed handlers
+    # ------------------------------------------------------------------ #
+
+    def _handle_sample(self, ev: ScheduledEvent) -> None:
+        """Fire a periodic measurement record and re-arm it in place."""
+        fn = ev.fn
+        if fn is None:  # pragma: no cover - defensive
+            raise SimulationError("sample event without a callable")
+        fn(self.now)
+        nxt = self.now + ev.b
+        end = ev.c
+        if end is None or nxt <= end:
+            self.queue.repush(ev, nxt)
+
+    def _handle_topology(self, ev: ScheduledEvent) -> None:
+        """Apply a scheduled graph mutation (``a=graph, b=added, c=u, d=v``)."""
+        if ev.b:
+            ev.a.add_edge(ev.c, ev.d, self.now)
+        else:
+            ev.a.remove_edge(ev.c, ev.d, self.now)
 
     # ------------------------------------------------------------------ #
     # Measurement helpers
@@ -169,15 +323,20 @@ class Simulator:
         ``callback(now)`` fires at ``start, start+interval, ...`` (default
         start: now) with :data:`PRIORITY_SAMPLE` so it observes each
         timestamp *after* all model activity.  Re-arms itself until ``end``.
+        A single :data:`~repro.sim.events.KIND_SAMPLE` record is reused for
+        the whole series.  ``end`` before the first firing is rejected --
+        it would silently install a sampler that never re-arms.
         """
         if interval <= 0.0:
             raise SimulationError(f"interval must be positive; got {interval!r}")
         t0 = self.now if start is None else start
-
-        def fire() -> None:
-            callback(self.now)
-            nxt = self.now + interval
-            if end is None or nxt <= end:
-                self.schedule_at(nxt, fire, priority=PRIORITY_SAMPLE, label="sample")
-
-        self.schedule_at(max(t0, self.now), fire, priority=PRIORITY_SAMPLE, label="sample")
+        first = max(t0, self.now)
+        if end is not None and end < first:
+            raise SimulationError(
+                f"sampling window is empty: end={end!r} precedes the first "
+                f"firing at t={first!r}"
+            )
+        self.queue.push_typed(
+            first, PRIORITY_SAMPLE, KIND_SAMPLE, None, float(interval), end,
+            None, callback, "sample",
+        )

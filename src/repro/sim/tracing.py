@@ -101,7 +101,7 @@ class TraceRecorder:
 
     def filter(self, kind: str | None = None, subject: Any = None) -> list[TraceRecord]:
         """Return records matching the given kind and/or subject."""
-        out = []
+        out: list[TraceRecord] = []
         for r in self._records:
             if kind is not None and r.kind != kind:
                 continue

@@ -52,6 +52,7 @@ __all__ = [
     "fuzz_config",
     "fuzz_sweep_spec",
     "make_topology",
+    "queue_operations",
     "sweep_specs",
     "system_params",
     "topologies",
@@ -359,3 +360,44 @@ def sweep_specs(max_points: int = 4):
         return SweepSpec(workload, base=base, axes=axes)
 
     return _specs()
+
+
+def queue_operations(
+    max_ops: int = 60,
+    *,
+    max_time: float = 100.0,
+    max_priority: int = 3,
+):
+    """Strategy for typed-event-queue op scripts (kernel property tests).
+
+    Generates a list of operations against one
+    :class:`~repro.sim.queue.EventQueue`:
+
+    * ``("push", time, priority, kind)`` -- schedule a record (kinds span
+      the never-pooled callback kind and the poolable typed kinds, so
+      scripts exercise free-list reuse under cancellation);
+    * ``("cancel", i)`` -- cancel the ``i``-th pushed record (modulo the
+      number pushed so far; double-cancels and cancel-after-pop are
+      exercised by colliding indices);
+    * ``("pop",)`` -- pop the next live record.
+
+    The interleavings this produces -- cancel-then-pop, pop-then-cancel,
+    cancel-twice, pooled-record reuse -- are exactly the hazard surface of
+    the lazy-deletion + record-pooling queue; see
+    ``tests/test_event_queue.py`` for the invariants checked over them.
+    """
+    _require_hypothesis()
+    from ..sim import events as ev
+
+    kinds = st.sampled_from(
+        (ev.KIND_CALLBACK, ev.KIND_DELIVER, ev.KIND_TIMER, ev.KIND_SAMPLE)
+    )
+    push = st.tuples(
+        st.just("push"),
+        st.floats(min_value=0.0, max_value=max_time, allow_nan=False),
+        st.integers(min_value=0, max_value=max_priority),
+        kinds,
+    )
+    cancel = st.tuples(st.just("cancel"), st.integers(min_value=0, max_value=255))
+    pop = st.tuples(st.just("pop"))
+    return st.lists(st.one_of(push, cancel, pop), min_size=1, max_size=max_ops)

@@ -370,3 +370,66 @@ class TestPrune:
         )
         assert code == 0
         assert "nothing to prune" in out
+
+
+class TestRunCommand:
+    RUN_ARGS = ("run", "static_ring", "--set", "n=6", "horizon=15")
+
+    def test_run_prints_summary_and_throughput(self, capsys):
+        code, out, _ = run_cli(capsys, *self.RUN_ARGS)
+        assert code == 0
+        assert "static_ring(n=6" in out
+        assert "events/s" in out
+
+    def test_run_json_is_machine_readable(self, capsys):
+        code, out, _ = run_cli(capsys, *self.RUN_ARGS, "--json")
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["workload"] == "static_ring"
+        assert payload["nodes"] == 6
+        assert payload["events"] > 0
+        assert payload["events_per_sec"] > 0
+        assert payload["oracle_ok"] is None  # workload has no oracle attached
+
+    def test_run_profile_prints_top_entries(self, capsys):
+        code, out, _ = run_cli(capsys, *self.RUN_ARGS, "--profile")
+        assert code == 0
+        assert "profile: top 25 by cumulative time" in out
+        # cProfile table landed on stdout, topped by the experiment runner.
+        assert "cumtime" in out
+        assert "run_experiment" in out
+
+    def test_run_huge_workload_reports_oracle_verdict(self, capsys):
+        # huge_ring attaches the standard oracle by default; a tiny
+        # instance must run conformantly and surface the verdict.
+        code, out, _ = run_cli(
+            capsys, "run", "huge_ring", "--set", "n=6", "horizon=10", "--json"
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["oracle_ok"] is True
+        assert payload["oracle_checks"] > 0
+
+    def test_run_invalid_params_exit_two(self, capsys):
+        code, _, err = run_cli(
+            capsys, "run", "huge_ring", "--set", "n=6", "horizon=10", "b0=0.4"
+        )
+        assert code == 2
+        assert "b0 must exceed" in err
+
+    def test_run_json_with_profile_keeps_stdout_parseable(self, capsys):
+        code, out, err = run_cli(capsys, *self.RUN_ARGS, "--json", "--profile")
+        assert code == 0
+        payload = json.loads(out)  # stdout is exactly one JSON document
+        assert payload["workload"] == "static_ring"
+        assert "profile: top 25 by cumulative time" in err
+
+    def test_run_unknown_workload_is_exit_two(self, capsys):
+        code, _, err = run_cli(capsys, "run", "nope")
+        assert code == 2
+        assert "unknown workload" in err
+
+    def test_run_bad_argument_is_exit_two(self, capsys):
+        code, _, err = run_cli(capsys, "run", "static_ring", "--set", "bogus=1")
+        assert code == 2
+        assert "error" in err

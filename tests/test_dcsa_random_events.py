@@ -88,7 +88,16 @@ def test_property_jumps_respect_constraints(script):
     constraint ``est + B(age)`` nor above ``Lmax`` (AdjustClock's
     postcondition). Between jumps the clock may sit above a newly formed
     constraint — the node is then 'blocked' and only drifts, which the
-    monotonicity test covers."""
+    monotonicity test covers.
+
+    The per-neighbour check is evaluated only after *instantaneous* input
+    events (msg/add/remove), where the jump demonstrably happened at the
+    current instant.  A jump inside an ``advance`` window fired at some
+    interior timer, and ``B`` decays while ``L`` only drifts, so
+    re-evaluating the constraint at the window's end is not the
+    algorithm's postcondition (AdjustClock held at the jump instant); the
+    ``Lmax`` dominance check remains valid at any later time because both
+    quantities advance at the same hardware rate."""
     sim = Simulator()
     params = SystemParams.for_network(5)
     node = DCSANode(0, sim, ConstantRateClock(1.0), SinkTransport(), params)
@@ -96,6 +105,7 @@ def test_property_jumps_respect_constraints(script):
     t = 0.0
     jumps_before = 0
     for ev in script:
+        instantaneous = ev[0] != "advance"
         if ev[0] == "advance":
             t += ev[1]
             sim.run_until(t)
@@ -109,14 +119,15 @@ def test_property_jumps_respect_constraints(script):
         if node.jumps > jumps_before:  # a discrete jump just happened
             l_now = node.logical_clock()
             assert l_now <= node.max_estimate() + 1e-9
-            for v in node.gamma:
-                row = node.gamma.get(v)
-                bound = row.l_est + node.params.b_function(
-                    node.hardware_clock() - row.added_h
-                )
-                assert l_now <= bound + 1e-9, (
-                    f"jump overshot constraint of neighbour {v}"
-                )
+            if instantaneous:
+                for v in node.gamma:
+                    row = node.gamma.get(v)
+                    bound = row.l_est + node.params.b_function(
+                        node.hardware_clock() - row.added_h
+                    )
+                    assert l_now <= bound + 1e-9, (
+                        f"jump overshot constraint of neighbour {v}"
+                    )
         jumps_before = node.jumps
 
 

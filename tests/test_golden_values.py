@@ -24,7 +24,11 @@ import pytest
 from repro.harness import configs
 from repro.harness.runner import run_experiment
 
-#: (workload id, config factory, max_global_skew, max_local_skew, jumps)
+#: (workload id, config factory, max_global_skew, max_local_skew, jumps,
+#:  events_dispatched).  The event count pins the kernel's *event volume*:
+#: a typed-kernel or scheduling refactor that silently changes how many
+#: records are dispatched (extra re-arms, lost discoveries, duplicated
+#: samples) fails loudly here even if the physics happens to agree.
 GOLDEN = [
     (
         "static_path",
@@ -32,6 +36,7 @@ GOLDEN = [
         0.7961767536525315,
         0.46151843494374845,
         38,
+        2690,
     ),
     (
         "backbone_churn",
@@ -39,6 +44,7 @@ GOLDEN = [
         0.31793387974983034,
         0.31793387974983034,
         62,
+        3700,
     ),
     (
         "adversarial_drift",
@@ -46,18 +52,22 @@ GOLDEN = [
         0.6600000000000108,
         0.4814911541675997,
         35,
+        2708,
     ),
 ]
 
 
 @pytest.mark.parametrize(
-    "name,make,global_skew,local_skew,jumps", GOLDEN, ids=[g[0] for g in GOLDEN]
+    "name,make,global_skew,local_skew,jumps,events",
+    GOLDEN,
+    ids=[g[0] for g in GOLDEN],
 )
-def test_golden_metrics_are_stable(name, make, global_skew, local_skew, jumps):
+def test_golden_metrics_are_stable(name, make, global_skew, local_skew, jumps, events):
     res = run_experiment(make())
     assert res.max_global_skew == pytest.approx(global_skew, rel=1e-12, abs=1e-12)
     assert res.max_local_skew == pytest.approx(local_skew, rel=1e-12, abs=1e-12)
     assert res.total_jumps() == jumps
+    assert res.events_dispatched == events
 
 
 def test_golden_runs_are_rerun_stable():
@@ -67,3 +77,4 @@ def test_golden_runs_are_rerun_stable():
     assert a.max_global_skew == b.max_global_skew
     assert a.max_local_skew == b.max_local_skew
     assert a.total_jumps() == b.total_jumps()
+    assert a.events_dispatched == b.events_dispatched

@@ -135,3 +135,75 @@ class TestClockSpecs:
         cfg.delay_spec = spec
         res = run_experiment(cfg)
         assert res.transport_stats["delivered"] > 0
+
+
+class TestHugeWorkloads:
+    """The production-scale workload family (scaled down for test speed)."""
+
+    def test_huge_workloads_registered(self):
+        for name in ("huge_ring", "huge_grid", "huge_churn_ring"):
+            assert name in configs.WORKLOADS
+
+    def test_huge_ring_runs_checked_without_recorder(self):
+        res = run_experiment(configs.huge_ring(12, horizon=12.0))
+        assert res.record.samples == 0  # recorder off by design
+        assert res.events_dispatched > 0
+        assert res.oracle_report is not None and res.oracle_report.ok
+
+    def test_huge_grid_runs_checked(self):
+        res = run_experiment(configs.huge_grid(3, 4, horizon=12.0))
+        assert res.params.n == 12
+        assert res.oracle_report is not None and res.oracle_report.ok
+
+    def test_huge_churn_ring_churns_and_stays_conformant(self):
+        res = run_experiment(configs.huge_churn_ring(12, horizon=15.0))
+        assert res.graph.edge_events > 12  # backbone + rewiring happened
+        assert res.oracle_report is not None and res.oracle_report.ok
+
+    def test_huge_configs_serialize(self):
+        for cfg in (
+            configs.huge_ring(12),
+            configs.huge_grid(3, 4),
+            configs.huge_churn_ring(12),
+        ):
+            rebuilt = ExperimentConfig.from_dict(cfg.to_dict())
+            assert rebuilt.to_dict() == cfg.to_dict()
+
+
+class TestEngineRegistry:
+    def test_sim_runtime_resolves_through_registry(self):
+        from repro.harness.registry import RUNTIME_BUILDERS
+
+        assert "sim" in RUNTIME_BUILDERS
+        res = run_experiment(configs.static_ring(5, horizon=10.0))
+        assert res.events_dispatched > 0
+
+    def test_unknown_runtime_rejected(self):
+        cfg = configs.static_ring(5, horizon=10.0)
+        cfg.runtime = "warp-drive"
+        with pytest.raises(ValueError, match="unknown runtime"):
+            run_experiment(cfg)
+
+
+class TestDenseNodeState:
+    def test_experiment_exposes_flat_node_list(self):
+        exp = build_experiment(configs.static_ring(6, horizon=5.0))
+        assert len(exp.node_list) == 6
+        for i, node in enumerate(exp.node_list):
+            assert exp.nodes[i] is node
+
+    def test_node_table_registered_on_simulator(self):
+        from repro.core.node import NodeTable
+
+        exp = build_experiment(configs.static_ring(6, horizon=5.0))
+        table = exp.sim.subsystems["node_table"]
+        assert isinstance(table, NodeTable)
+        assert table.drivers_for(sorted(exp.nodes)) == exp.node_list
+
+    def test_node_table_rejects_unregistered_ids(self):
+        from repro.core.node import NodeTable
+
+        exp = build_experiment(configs.static_ring(4, horizon=5.0))
+        table = exp.sim.subsystems["node_table"]
+        with pytest.raises(KeyError):
+            table.drivers_for([99])

@@ -175,3 +175,107 @@ class TestTracing:
         tr.record(1.0, "send", 1)
         tr.record(1.0, "recv", 2)
         assert len(tr) == 1
+
+
+class TestPeriodicValidation:
+    def test_every_rejects_end_before_start(self):
+        """An empty sampling window is a bug at the call site, not a
+        sampler that silently fires once and never re-arms."""
+        sim = Simulator()
+        with pytest.raises(SimulationError, match="empty"):
+            sim.every(1.0, lambda t: None, start=5.0, end=3.0)
+
+    def test_every_rejects_end_before_now(self):
+        sim = Simulator()
+        sim.run_until(4.0)
+        with pytest.raises(SimulationError, match="empty"):
+            sim.every(1.0, lambda t: None, end=2.0)
+
+    def test_every_end_equal_to_start_fires_once(self):
+        sim = Simulator()
+        ts = []
+        sim.every(1.0, ts.append, start=2.0, end=2.0)
+        sim.run_until(5.0)
+        assert ts == [2.0]
+
+
+class TestTypedDispatch:
+    def test_typed_event_routes_through_handler(self):
+        from repro.sim.events import KIND_DELIVER
+
+        sim = Simulator()
+        seen = []
+        sim.set_handler(KIND_DELIVER, lambda ev: seen.append((sim.now, ev.a, ev.b)))
+        sim.schedule_typed(2.0, 1, KIND_DELIVER, 7, 8)
+        sim.run_until(3.0)
+        assert seen == [(2.0, 7, 8)]
+
+    def test_conflicting_handler_registration_raises(self):
+        from repro.sim.events import KIND_DELIVER
+
+        sim = Simulator()
+        sim.set_handler(KIND_DELIVER, lambda ev: None)
+        with pytest.raises(SimulationError, match="already has a handler"):
+            sim.set_handler(KIND_DELIVER, lambda ev: None)
+
+    def test_same_handler_registration_is_idempotent(self):
+        from repro.sim.events import KIND_TIMER
+
+        def handler(ev):
+            pass
+
+        sim = Simulator()
+        sim.set_handler(KIND_TIMER, handler)
+        sim.set_handler(KIND_TIMER, handler)  # no-op, no raise
+
+    def test_callback_kind_cannot_be_overridden(self):
+        from repro.sim.events import KIND_CALLBACK
+
+        sim = Simulator()
+        with pytest.raises(SimulationError, match="invalid handler kind"):
+            sim.set_handler(KIND_CALLBACK, lambda ev: None)
+
+    def test_unhandled_typed_kind_raises_at_dispatch(self):
+        from repro.sim.events import KIND_DELIVER
+
+        sim = Simulator()
+        sim.schedule_typed(1.0, 1, KIND_DELIVER, 0, 1, label="orphan")
+        with pytest.raises(SimulationError, match="no handler"):
+            sim.run_until(2.0)
+
+    def test_dispatched_typed_records_are_recycled(self):
+        """The steady state allocates nothing: one record serves the run."""
+        from repro.sim.events import KIND_DELIVER
+
+        sim = Simulator()
+        sim.set_handler(KIND_DELIVER, lambda ev: None)
+        for t in range(1, 6):
+            sim.schedule_typed(float(t), 1, KIND_DELIVER, t, t)
+        sim.run_until(10.0)
+        assert sim.queue.pool_size == 5
+        assert sim.queue.raw_size == 0
+
+    def test_periodic_sampler_reuses_one_record(self):
+        """sim.every() re-arms its own KIND_SAMPLE record in place."""
+        sim = Simulator()
+        ts = []
+        sim.every(1.0, ts.append, end=50.0)
+        sim.run_until(50.0)
+        assert len(ts) == 51
+        # 51 firings never grew the heap beyond the single live record and
+        # never allocated more than that one reusable record.
+        assert sim.queue.raw_size == 0
+        assert sim.queue.pool_size <= 1
+
+    def test_topology_kind_applies_graph_mutation(self):
+        from repro.network.graph import DynamicGraph
+        from repro.sim.events import KIND_TOPOLOGY, PRIORITY_TOPOLOGY
+
+        sim = Simulator()
+        graph = DynamicGraph(range(3))
+        sim.schedule_typed(1.0, PRIORITY_TOPOLOGY, KIND_TOPOLOGY, graph, True, 0, 1)
+        sim.schedule_typed(2.0, PRIORITY_TOPOLOGY, KIND_TOPOLOGY, graph, False, 0, 1)
+        sim.run_until(1.5)
+        assert graph.has_edge(0, 1)
+        sim.run_until(3.0)
+        assert not graph.has_edge(0, 1)
