@@ -19,6 +19,7 @@ way).
 
 from __future__ import annotations
 
+import json
 import os
 
 from repro import __version__
@@ -40,6 +41,23 @@ def emit(name: str, text: str) -> None:
     print(text)
     with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w", encoding="utf-8") as fh:
         fh.write(text)
+
+
+def write_bench_json(name: str, payload: dict) -> str:
+    """Persist a machine-readable result to benchmarks/results/BENCH_<name>.json.
+
+    The payload is wrapped with the package version and benchmark name so a
+    stored artifact is self-describing: downstream tooling (and future
+    regression diffs) can refuse to compare numbers taken from different
+    code versions.  Returns the path written.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    doc = {"bench": name, "version": __version__, **payload}
+    path = os.path.join(RESULTS_DIR, f"BENCH_{name}.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
 
 
 def run_once(benchmark, fn):

@@ -29,7 +29,7 @@ from repro.analysis import TextTable
 from repro.harness import configs
 from repro.live.driver import build_live_runtime
 
-from _common import emit, run_once, sweep
+from _common import emit, run_once, sweep, write_bench_json
 
 SIZES = (8, 32)
 #: Simulated horizon matched to the live session's model-time span.
@@ -62,7 +62,7 @@ def _live_events_per_second(n: int) -> tuple[float, int, bool]:
     return live.events_handled / max(live.elapsed, 1e-9), live.events_handled, ok
 
 
-def _run_overhead() -> tuple[str, bool]:
+def _run_overhead() -> tuple[str, bool, dict]:
     table = TextTable(
         ["n", "driver", "events", "events/sec", "oracle"],
         title=(
@@ -71,6 +71,7 @@ def _run_overhead() -> tuple[str, bool]:
         ),
     )
     all_ok = True
+    points: list[dict] = []
     for n in SIZES:
         sim_rate, sim_events = _sim_events_per_second(n)
         table.add_row([n, "sim", sim_events, round(sim_rate), "n/a"])
@@ -81,14 +82,31 @@ def _run_overhead() -> tuple[str, bool]:
             [n, "live-loopback", live_events, round(live_rate),
              "OK" if live_ok else "VIOLATED"]
         )
+        points.append(
+            {
+                "n": n,
+                "sim_events": sim_events,
+                "sim_events_per_sec": sim_rate,
+                "live_events": live_events,
+                "live_events_per_sec": live_rate,
+                "live_oracle_ok": live_ok,
+            }
+        )
     txt = table.render() + (
         "\nlive throughput is workload-determined (ticks x fan-out); the sim\n"
         "column is the compute-bound ceiling for the same core + driver stack.\n"
     )
-    return txt, all_ok
+    payload = {
+        "sim_horizon": SIM_HORIZON,
+        "live_duration": LIVE_DURATION,
+        "all_ok": all_ok,
+        "points": points,
+    }
+    return txt, all_ok, payload
 
 
 def test_bench_live_overhead(benchmark):
-    txt, all_ok = run_once(benchmark, _run_overhead)
+    txt, all_ok, payload = run_once(benchmark, _run_overhead)
     emit("live_overhead", txt)
+    write_bench_json("live_overhead", payload)
     assert all_ok, "live sessions must stay conformant and non-empty"

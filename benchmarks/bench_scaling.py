@@ -26,7 +26,7 @@ import time
 from repro.analysis import TextTable
 from repro.harness import configs, run_experiment
 
-from _common import emit, run_once, sweep
+from _common import emit, run_once, sweep, write_bench_json
 
 #: Ring sizes: two orders of magnitude up to the CI-sized huge workload.
 SIZES = (64, 256, 1024, 4096)
@@ -51,7 +51,7 @@ def _events_per_second(n: int) -> tuple[float, int]:
     return events / max(elapsed, 1e-9), events
 
 
-def _run_scaling() -> tuple[str, bool]:
+def _run_scaling() -> tuple[str, bool, dict]:
     table = TextTable(
         ["n", "events", "events/sec", "us/event", "vs n_min"],
         title=(
@@ -60,6 +60,7 @@ def _run_scaling() -> tuple[str, bool]:
         ),
     )
     rates: dict[int, float] = {}
+    points: list[dict] = []
     for n in SIZES:
         rate, events = _events_per_second(n)
         rates[n] = rate
@@ -67,16 +68,24 @@ def _run_scaling() -> tuple[str, bool]:
         table.add_row(
             [n, events, round(rate), round(1e6 / rate, 2), f"{rel:.2f}x"]
         )
+        points.append({"n": n, "events": events, "events_per_sec": rate})
     ok = rates[SIZES[-1]] >= FLATNESS_FLOOR * rates[SIZES[0]]
     txt = table.render() + (
         "\nper-event cost is O(log queue) + O(degree): the curve should be\n"
         "roughly flat in n. A large-n collapse means an O(n) cost leaked\n"
         "into the per-event path (see docs/performance.md).\n"
     )
-    return txt, ok
+    payload = {
+        "horizon": HORIZON,
+        "flatness_floor": FLATNESS_FLOOR,
+        "flat": ok,
+        "points": points,
+    }
+    return txt, ok, payload
 
 
 def test_bench_scaling(benchmark):
-    txt, ok = run_once(benchmark, _run_scaling)
+    txt, ok, payload = run_once(benchmark, _run_scaling)
     emit("scaling", txt)
+    write_bench_json("scaling", payload)
     assert ok, "large-n throughput collapsed; O(n) cost in the event path?"

@@ -101,6 +101,12 @@ def main(seed: int = 0) -> None:
     print(live.summary())
     # Shell equivalent:  python -m repro live --workload live_ring \
     #     --duration 2 --json
+    # Want to watch a run from the inside? Telemetry streams kernel,
+    # transport and oracle metrics without perturbing the physics
+    # (docs/observability.md):
+    #   python -m repro run huge_ring --set n=512 --stats
+    #   python -m repro run huge_ring --set n=512 --metrics out.jsonl
+    #   python -m repro top out.jsonl
 
 
 if __name__ == "__main__":

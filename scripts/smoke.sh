@@ -53,6 +53,25 @@ if summary["messages_delivered"] <= 0:
     sys.exit(f"FAIL: live session moved no messages: {summary}")
 '
 
+echo "== telemetry flight recorder =="
+# A flight-recorded run must produce schema-valid frames and a final
+# snapshot that `repro top` can render (docs/observability.md).
+python -m repro run large_ring --set n=16 horizon=30 \
+    --metrics "$store/metrics.jsonl" --stats > /dev/null
+python -c '
+import sys
+from repro.telemetry import read_frames
+frames = read_frames(sys.argv[1])  # validates every frame against the schema
+if not frames:
+    sys.exit("FAIL: flight recorder wrote no frames")
+last = frames[-1]
+for prefix in ("kernel.", "transport.", "oracle."):
+    names = last["counters"].keys() | last["gauges"].keys()
+    if not any(k.startswith(prefix) for k in names):
+        sys.exit(f"FAIL: no {prefix} metrics in final frame")
+' "$store/metrics.jsonl"
+python -m repro top "$store/metrics.jsonl" > /dev/null
+
 echo "== streaming conformance oracle =="
 python -m repro check static_ring --set n=6 horizon=20
 # A deliberately broken bound must exit with exactly 1 (violation

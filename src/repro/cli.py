@@ -1,13 +1,16 @@
 """Command-line interface: ``python -m repro`` (or the ``repro`` script).
 
-Seven subcommands drive the sweep, conformance and live subsystems from the
-shell (plus ``--version``):
+Eight subcommands drive the sweep, conformance, live and telemetry
+subsystems from the shell (plus ``--version``):
 
 ``run WORKLOAD``
     Execute one named workload once and print its summary (events,
     throughput, skews, oracle verdict).  ``--profile`` wraps the run in
     cProfile and prints the top cumulative entries -- the standard tool
-    for kernel performance work (see docs/performance.md).
+    for kernel performance work (see docs/performance.md).  ``--metrics
+    out.jsonl`` streams flight-recorder frames while the run executes and
+    ``--stats`` prints the end-of-run telemetry table (see
+    docs/observability.md).
 
 ``sweep WORKLOAD``
     Expand a named workload from :data:`repro.harness.configs.WORKLOADS`
@@ -29,6 +32,11 @@ shell (plus ``--version``):
     artificial drift, the streaming oracle attached online.
     ``--duration`` caps the session in seconds; exits 1 if any bound of
     the paper is violated; ``--json`` prints a summary with ``oracle_ok``.
+
+``top PATH``
+    Render a telemetry metrics file (``--metrics`` output) as a terminal
+    dashboard: the final frame one-shot, or ``--follow`` to tail a file
+    that an in-progress run is still appending to.
 
 ``ls``
     List what the store already holds (``--json`` for scripts).
@@ -174,6 +182,71 @@ def _progress_printer(quiet: bool):
 
 
 # --------------------------------------------------------------------- #
+# Telemetry wiring (shared by `run` and `live`)
+# --------------------------------------------------------------------- #
+
+
+def _telemetry_start(args: argparse.Namespace, source: str) -> tuple[Any, Any]:
+    """Enable ambient telemetry for one run when --metrics/--stats ask for it.
+
+    Returns ``(sampler, stop)``: call ``stop()`` once the run finished (it
+    emits the final frame, closes the JSONL file and disables the
+    registry; idempotent).  Returns ``(None, noop)`` when telemetry was
+    not requested, so callers need no conditional teardown.
+    """
+    if not (args.metrics or args.stats):
+        return None, lambda: None
+    from .telemetry import FlightRecorder, TelemetrySampler, get_registry
+
+    registry = get_registry()
+    # One run per registry epoch: drop stale instruments from any earlier
+    # in-process run so polled readbacks can't outlive their subsystems.
+    registry.reset()
+    registry.enable()
+    recorder = FlightRecorder(args.metrics) if args.metrics else None
+    sampler = TelemetrySampler(
+        registry,
+        interval=args.metrics_interval,
+        sink=recorder,
+        source=source,
+    )
+    sampler.start()
+    stopped = False
+
+    def stop() -> None:
+        nonlocal stopped
+        if stopped:
+            return
+        stopped = True
+        sampler.stop()
+        if recorder is not None:
+            recorder.close()
+        registry.disable()
+
+    return sampler, stop
+
+
+def _print_stats(args: argparse.Namespace, sampler: Any, source: str) -> None:
+    """Print the end-of-run --stats table (stderr in --json mode)."""
+    if not args.stats or sampler is None or sampler.last_frame is None:
+        return
+    from .telemetry import render_snapshot
+
+    # --json owns stdout (one parseable line), like --profile.
+    dest = sys.stderr if getattr(args, "json", False) else sys.stdout
+    print(file=dest)
+    print(
+        render_snapshot(
+            sampler.last_frame,
+            sampler.first_frame,
+            title=f"telemetry {source}: end-of-run stats",
+        ),
+        end="",
+        file=dest,
+    )
+
+
+# --------------------------------------------------------------------- #
 # Subcommands
 # --------------------------------------------------------------------- #
 
@@ -302,17 +375,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
         profiler = cProfile.Profile()
         profiler.enable()
+    sampler, telemetry_stop = _telemetry_start(args, args.workload)
     t0 = time.perf_counter()
     try:
         result = run_experiment(cfg)
     except Exception as exc:
         if profiler is not None:
             profiler.disable()
+        telemetry_stop()
         print(f"error: {exc}", file=sys.stderr)
         return 2
     elapsed = time.perf_counter() - t0
     if profiler is not None:
         profiler.disable()
+    # Final frame before any reporting, so --stats sees the finished run.
+    telemetry_stop()
     events_per_sec = result.events_dispatched / max(elapsed, 1e-9)
     report = result.oracle_report
     if args.json:
@@ -338,6 +415,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"  wall: {elapsed:.2f}s  throughput: {events_per_sec:,.0f} events/s")
         if report is not None and not report.ok:
             print(report.render(max_lines=CHECK_MAX_VIOLATIONS))
+    _print_stats(args, sampler, args.workload)
     if profiler is not None:
         import pstats
 
@@ -430,15 +508,18 @@ def _cmd_live(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    sampler, telemetry_stop = _telemetry_start(args, args.workload)
     t0 = time.perf_counter()
     try:
         result = run_experiment(cfg)
     except Exception as exc:
         # Infrastructure failures (socket binds, wedged loop) are exit 2,
         # like `check`; exit 1 strictly means "a paper bound was violated".
+        telemetry_stop()
         print(f"error: {exc}", file=sys.stderr)
         return 2
     elapsed = time.perf_counter() - t0
+    telemetry_stop()
     report = result.oracle_report
     if args.json:
         payload: dict[str, Any] = {
@@ -461,7 +542,55 @@ def _cmd_live(args: argparse.Namespace) -> int:
         print(result.summary())
         if report is not None and not report.ok:
             print(report.render(max_lines=CHECK_MAX_VIOLATIONS))
+    _print_stats(args, sampler, args.workload)
     return 0 if report is None or report.ok else 1
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from .telemetry import FrameError, read_frames, render_snapshot
+    from .telemetry.top import CLEAR_SCREEN, follow_frames
+
+    if args.follow:
+        # Tail mode: repaint whenever complete new frames appear.  The
+        # flight recorder flushes per line, so partial tails are rare and
+        # follow_frames leaves them buffered until whole.
+        last = prev = None
+        try:
+            with open(args.path, "r", encoding="utf-8") as fh:
+                while True:
+                    updated = False
+                    for frame in follow_frames(fh):
+                        prev, last = last, frame
+                        updated = True
+                    if updated and last is not None:
+                        sys.stdout.write(CLEAR_SCREEN)
+                        sys.stdout.write(render_snapshot(last, prev))
+                        sys.stdout.flush()
+                    time.sleep(args.interval)
+        except KeyboardInterrupt:
+            print()
+            return 0
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        except (FrameError, json.JSONDecodeError) as exc:
+            print(f"error: {args.path}: {exc}", file=sys.stderr)
+            return 2
+    try:
+        frames = read_frames(args.path)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except (FrameError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not frames:
+        print(f"error: {args.path} holds no frames", file=sys.stderr)
+        return 1
+    # One-shot: final snapshot, rates averaged over the whole stream.
+    prev = frames[0] if len(frames) > 1 else None
+    print(render_snapshot(frames[-1], prev), end="")
+    return 0
 
 
 def _cmd_ls(args: argparse.Namespace) -> int:
@@ -739,6 +868,54 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print a machine-readable summary (includes oracle_ok)",
     )
     p_live.set_defaults(func=_cmd_live)
+
+    # Telemetry flags, shared by the two run-one-workload commands.
+    for p in (p_run, p_live):
+        p.add_argument(
+            "--metrics",
+            metavar="PATH",
+            default=None,
+            help="stream JSONL flight-recorder frames to PATH while running "
+            "(render them with `repro top PATH`; docs/observability.md)",
+        )
+        p.add_argument(
+            "--metrics-interval",
+            type=float,
+            default=0.5,
+            metavar="SECONDS",
+            help="telemetry sampling period (default: 0.5s wall clock)",
+        )
+        p.add_argument(
+            "--stats",
+            action="store_true",
+            help="print the end-of-run telemetry table (stderr in --json mode)",
+        )
+
+    p_top = sub.add_parser(
+        "top",
+        help="render a telemetry metrics file as a terminal dashboard",
+        description=(
+            "Render JSONL flight-recorder frames (written by `repro run/live "
+            "--metrics PATH`). Default: validate every frame and print the "
+            "final snapshot with whole-run counter rates. --follow tails the "
+            "file and repaints as an in-progress run appends frames "
+            "(Ctrl-C to stop)."
+        ),
+    )
+    p_top.add_argument("path", help="metrics file written by --metrics")
+    p_top.add_argument(
+        "--follow",
+        action="store_true",
+        help="keep tailing the file and repaint on new frames",
+    )
+    p_top.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="--follow poll period (default: 1s)",
+    )
+    p_top.set_defaults(func=_cmd_top)
 
     p_ls = sub.add_parser("ls", help="list cached sweep results")
     p_ls.add_argument(

@@ -43,6 +43,7 @@ from ..sim.clocks import (
 from ..sim.rng import RngFactory
 from ..sim.simulator import Simulator
 from ..sim.tracing import TraceRecorder
+from ..telemetry.registry import active_registry
 from .registry import (
     CLOCK_BUILDERS,
     DELAY_BUILDERS,
@@ -394,6 +395,19 @@ class RunResult:
                 f"  oracle: {'OK' if rep.ok else 'VIOLATED'} "
                 f"({rep.checks} checks, {rep.violation_count} violations)"
             )
+            # Capped buffers must never be silently lossy: say when the
+            # per-monitor violation store truncated records.
+            truncated = rep.violation_count - len(rep.violations)
+            if truncated > 0:
+                lines.append(
+                    f"  oracle violations truncated: {truncated} not recorded "
+                    f"(max_recorded cap)"
+                )
+        if self.trace is not None and self.trace.dropped > 0:
+            lines.append(
+                f"  trace records dropped: {self.trace.dropped} "
+                f"(capacity {self.trace.capacity})"
+            )
         lines.append(
             f"  events: {self.events_dispatched}  messages: "
             f"{self.transport_stats['sent']} sent / "
@@ -603,6 +617,16 @@ class Experiment:
         # 7. Start node activity.
         for i in sorted(self.nodes):
             self.nodes[i].start()
+        # 8. Telemetry (ambient, not config: the config dict is the cache
+        #    identity and a pure observer must not change it).  Polled
+        #    readbacks only -- instrumenting schedules nothing and draws
+        #    no RNG, so runs stay bit-identical with telemetry enabled.
+        telemetry = active_registry()
+        if telemetry is not None:
+            self.sim.instrument(telemetry)
+            self.transport.instrument(telemetry)
+            if self.oracle is not None:
+                self.oracle.instrument(telemetry)
 
     def run(self) -> RunResult:
         """Run to the horizon and package the results.

@@ -63,6 +63,7 @@ from ..core.protocol import (
 from ..network.graph import DynamicGraph
 from ..oracle.oracle import OracleReport, StreamingOracle
 from ..params import SystemParams
+from ..telemetry.registry import Gauge, Histogram, MetricsRegistry, active_registry
 from .channels import LiveChannel
 from .clocks import LiveClock
 
@@ -156,6 +157,9 @@ class _LiveNode:
         now_h = self.clock.h_at(t)
         effects = self.core.handle(now_h, event)
         self.events_handled += 1
+        heartbeat = self.runtime._tele_heartbeat
+        if heartbeat is not None:
+            heartbeat.set(t)
         if self.effect_log is not None:
             self.effect_log.append((now_h, event, tuple(effects)))
         for eff in effects:
@@ -181,12 +185,15 @@ class _LiveNode:
             for key, deadline in self.timers.items()
             if deadline <= t
         )
-        for _deadline, _tag, key in due:
+        lag_hist = self.runtime._tele_timer_lag
+        for deadline, _tag, key in due:
             # A previous firing in this batch may have re-armed/cancelled.
             current = self.timers.get(key)
             if current is None or current > t:
                 continue
             del self.timers[key]
+            if lag_hist is not None:
+                lag_hist.observe(t - deadline)
             self.dispatch(t, TimerFired(key))
         return bool(due)
 
@@ -349,6 +356,66 @@ class LiveRuntime:
             "discoveries_skipped": 0,
         }
         self._t0 = 0.0
+        self._epoch_set = False
+        #: Telemetry instruments, populated by :meth:`instrument`; hot
+        #: paths pay one ``is not None`` check each while telemetry is off.
+        self._tele_timer_lag: Histogram | None = None
+        self._tele_heartbeat: Gauge | None = None
+
+    # ------------------------------------------------------------------ #
+    # Telemetry
+    # ------------------------------------------------------------------ #
+
+    def instrument(self, registry: MetricsRegistry) -> None:
+        """Register live-session health metrics on ``registry``.
+
+        Transport-style counters reuse the sim's ``transport.*`` names so
+        ``repro top`` reads identically for both drivers; the live-only
+        signals (inbox depths, timer lag, heartbeat age, wall-vs-subjective
+        drift) live under ``live.*``.  Everything is either polled
+        out-of-band or a plain attribute write on the dispatch path.
+        """
+        stats = self.stats
+
+        def _stat_reader(field: str) -> Any:
+            return lambda: stats[field]
+
+        for field_name in stats:
+            registry.counter_fn(f"transport.{field_name}", _stat_reader(field_name))
+        nodes = list(self.nodes.values())
+        registry.counter_fn(
+            "live.events_handled", lambda: sum(n.events_handled for n in nodes)
+        )
+        registry.gauge_fn(
+            "live.inbox_depth", lambda: sum(n.inbox.qsize() for n in nodes)
+        )
+        registry.gauge_fn(
+            "live.inbox_max", lambda: max(n.inbox.qsize() for n in nodes)
+        )
+        registry.gauge_fn(
+            "live.timers_pending", lambda: sum(len(n.timers) for n in nodes)
+        )
+        registry.gauge_fn(
+            "live.session_time", lambda: self.now() if self._epoch_set else None
+        )
+
+        def _max_drift() -> float | None:
+            if not self._epoch_set:
+                return None
+            t = self.now()
+            return max(abs(n.clock.h_at(t) - t) for n in nodes)
+
+        registry.gauge_fn("live.wall_vs_subjective_drift", _max_drift)
+
+        def _heartbeat_age() -> float | None:
+            last = self._tele_heartbeat.value if self._tele_heartbeat else None
+            if last is None or not self._epoch_set:
+                return None
+            return self.now() - last
+
+        registry.gauge_fn("live.heartbeat_age_s", _heartbeat_age)
+        self._tele_heartbeat = registry.gauge("live.last_dispatch_t")
+        self._tele_timer_lag = registry.histogram("live.timer_lag_s")
 
     # ------------------------------------------------------------------ #
     # Session clock
@@ -435,6 +502,11 @@ class LiveRuntime:
 
     async def run_async(self) -> LiveRunResult:
         """Run the session on the current event loop."""
+        telemetry = active_registry()
+        if telemetry is not None:
+            self.instrument(telemetry)
+            if self.oracle is not None:
+                self.oracle.instrument(telemetry)
         await self.channel.open(self._deliver, sorted(self.nodes))
         oracle = self.oracle
         if oracle is not None:
@@ -447,6 +519,7 @@ class LiveRuntime:
         # The epoch starts after transport setup (UDP binds can take a
         # while) so the full duration belongs to protocol activity.
         self._t0 = time.monotonic()
+        self._epoch_set = True
         if oracle is not None:
             oracle.sample(0.0)
         node_tasks = [

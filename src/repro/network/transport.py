@@ -39,7 +39,7 @@ Nodes registered with the transport must provide three callbacks::
 
 from __future__ import annotations
 
-from typing import Any, Protocol
+from typing import TYPE_CHECKING, Any, Protocol
 
 from ..sim.events import KIND_DELIVER, KIND_DISCOVER, PRIORITY_DELIVERY, ScheduledEvent
 from ..sim.simulator import Simulator
@@ -47,6 +47,9 @@ from ..sim.tracing import NULL_TRACE, TraceRecorder
 from .channels import DelayPolicy
 from .discovery import DiscoveryPolicy
 from .graph import DynamicGraph
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checking
+    from ..telemetry.registry import MetricsRegistry
 
 __all__ = ["Transport", "NodeInterface", "TransportStats"]
 
@@ -125,6 +128,9 @@ class Transport:
         #: per-message fast path skips even the no-op record calls).
         self._trace = self.trace if self.trace.enabled else None
         self.stats = TransportStats()
+        #: Graph mutations observed (both directions of churn); kept off
+        #: :class:`TransportStats` so sim/live stats dicts stay congruent.
+        self.edge_flips = 0
         self._nodes: dict[int, NodeInterface] = {}
         #: Dense mirror of ``_nodes`` keyed by node id (``None`` = empty slot).
         self._node_seq: list[NodeInterface | None] = []
@@ -137,6 +143,29 @@ class Transport:
         sim.set_handler(KIND_DELIVER, self._handle_deliver)
         sim.set_handler(KIND_DISCOVER, self._handle_discover)
         graph.subscribe(self._on_graph_event)
+
+    def instrument(self, registry: "MetricsRegistry") -> None:
+        """Register transport metrics as polled readbacks on ``registry``.
+
+        The transport keeps counting into :class:`TransportStats` exactly
+        as before; telemetry only reads those counters out-of-band, so the
+        send/deliver hot paths gain no per-message work at all.
+        """
+        stats = self.stats
+
+        def _stat_reader(field: str) -> Any:
+            return lambda: getattr(stats, field)
+
+        for field in TransportStats.__slots__:
+            registry.counter_fn(f"transport.{field}", _stat_reader(field))
+        registry.counter_fn("transport.edge_flips", lambda: self.edge_flips)
+        registry.gauge_fn(
+            "transport.in_flight",
+            lambda: stats.sent
+            - stats.delivered
+            - stats.dropped_no_edge
+            - stats.dropped_removed,
+        )
 
     # ------------------------------------------------------------------ #
     # Node management
@@ -229,6 +258,7 @@ class Transport:
     # ------------------------------------------------------------------ #
 
     def _on_graph_event(self, time: float, u: int, v: int, added: bool) -> None:
+        self.edge_flips += 1
         if self._trace is not None:
             self._trace.record(time, "edge_add" if added else "edge_remove", u, v)
         self._schedule_discovery(u, v, added=added, change_time=time)

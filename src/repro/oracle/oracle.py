@@ -22,7 +22,7 @@ or standalone on any simulator/graph/node wiring via :meth:`install`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Mapping
+from typing import TYPE_CHECKING, Any, Iterable, Mapping
 
 import numpy as np
 
@@ -30,6 +30,9 @@ from ..network.graph import DynamicGraph
 from ..params import SystemParams
 from ..sim.simulator import Simulator
 from .monitors import MONITOR_FACTORIES, Monitor, MonitorSummary, Violation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checking
+    from ..telemetry.registry import MetricsRegistry
 
 __all__ = ["OracleError", "OracleReport", "StreamingOracle"]
 
@@ -258,6 +261,32 @@ class StreamingOracle:
         self.attach_graph(graph)
         assert self.interval is not None
         sim.every(self.interval, self.sample, end=end)
+
+    def instrument(self, registry: "MetricsRegistry") -> None:
+        """Register oracle health as polled readbacks on ``registry``.
+
+        Exposes ``oracle.samples``/``oracle.checks``/``oracle.violations``
+        plus one live worst-margin gauge per monitor (``None`` until the
+        monitor's first check; ``inf`` readings are normalised to ``None``
+        by the snapshot layer).  Reads are racy by design -- the oracle
+        remains the only writer of its own state.
+        """
+        registry.counter_fn("oracle.samples", lambda: self.samples_seen)
+        registry.counter_fn(
+            "oracle.checks", lambda: sum(m.checks for m in self.monitors)
+        )
+        registry.counter_fn(
+            "oracle.violations",
+            lambda: sum(m.violation_count for m in self.monitors),
+        )
+
+        def _margin_reader(monitor: Monitor) -> Any:
+            return lambda: float(monitor.worst_margin) if monitor.checks else None
+
+        for monitor in self.monitors:
+            registry.gauge_fn(
+                f"oracle.worst_margin.{monitor.name}", _margin_reader(monitor)
+            )
 
     def edge_event(self, time: float, u: int, v: int, added: bool) -> None:
         """Feed one topology mutation to the edge-tracking monitors."""

@@ -47,6 +47,7 @@ __all__ = [
     "KIND_SAMPLE",
     "KIND_DISCOVER",
     "N_KINDS",
+    "KIND_NAMES",
     "POOLABLE",
     "ScheduledEvent",
 ]
@@ -72,6 +73,9 @@ KIND_SAMPLE = 4
 KIND_DISCOVER = 5
 
 N_KINDS = 6
+
+#: Human-readable kind labels, indexed by kind tag (telemetry, debugging).
+KIND_NAMES = ("callback", "deliver", "timer", "topology", "sample", "discover")
 
 #: Per-kind recycling eligibility, indexed by kind tag.
 POOLABLE = (False, True, True, True, True, True)

@@ -42,13 +42,16 @@ _POOL_CAP = 65536
 class EventQueue:
     """Priority queue of :class:`ScheduledEvent` ordered by (time, prio, seq)."""
 
-    __slots__ = ("_heap", "_seq", "_live", "_free")
+    __slots__ = ("_heap", "_seq", "_live", "_free", "allocations")
 
     def __init__(self) -> None:
         self._heap: list[tuple[float, int, int, ScheduledEvent]] = []
         self._seq = 0
         self._live = 0
         self._free: list[ScheduledEvent] = []
+        #: Records constructed because the free list was empty; together
+        #: with :attr:`pushes` this yields the event-pool hit rate.
+        self.allocations = 0
 
     def __len__(self) -> int:
         """Number of *live* (non-cancelled) events."""
@@ -66,6 +69,11 @@ class EventQueue:
     def pool_size(self) -> int:
         """Records currently parked in the free list (for tests/metrics)."""
         return len(self._free)
+
+    @property
+    def pushes(self) -> int:
+        """Total pushes so far, including re-pushes (for tests/metrics)."""
+        return self._seq
 
     # ------------------------------------------------------------------ #
     # Scheduling
@@ -117,6 +125,7 @@ class EventQueue:
             ev.cancelled = False
             ev.label = label
         else:
+            self.allocations += 1
             ev = ScheduledEvent(
                 time, priority, seq, fn, label, kind=kind, a=a, b=b, c=c, d=d
             )

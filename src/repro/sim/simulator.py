@@ -26,10 +26,11 @@ docs/performance.md for the kernel design rationale and scaling numbers).
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from .events import (
     KIND_CALLBACK,
+    KIND_NAMES,
     KIND_SAMPLE,
     KIND_TOPOLOGY,
     N_KINDS,
@@ -39,6 +40,9 @@ from .events import (
 )
 from .queue import EventQueue
 from .tracing import NULL_TRACE, TraceRecorder
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checking
+    from ..telemetry.registry import MetricsRegistry
 
 __all__ = ["Simulator", "SimulationError"]
 
@@ -77,6 +81,7 @@ class Simulator:
         "events_dispatched",
         "subsystems",
         "_handlers",
+        "kind_counts",
     )
 
     def __init__(
@@ -94,6 +99,37 @@ class Simulator:
         handlers[KIND_SAMPLE] = self._handle_sample
         handlers[KIND_TOPOLOGY] = self._handle_topology
         self._handlers = handlers
+        #: Per-kind dispatch tally, allocated by :meth:`instrument`; the hot
+        #: loop pays a single ``is not None`` check while telemetry is off
+        #: (same discipline as the ``NULL_TRACE`` guard).
+        self.kind_counts: list[int] | None = None
+
+    def instrument(self, registry: "MetricsRegistry") -> None:
+        """Register kernel metrics as polled readbacks on ``registry``.
+
+        Pure observation: everything is read out-of-band by the telemetry
+        sampler, no simulation events are scheduled and no RNG is touched,
+        so an instrumented run stays bit-identical to a bare one.
+        """
+        if self.kind_counts is None:
+            self.kind_counts = [0] * N_KINDS
+        kind_counts = self.kind_counts
+        registry.counter_fn(
+            "kernel.events_dispatched", lambda: self.events_dispatched
+        )
+
+        def _kind_reader(k: int) -> Callable[[], int]:
+            return lambda: kind_counts[k]
+
+        for kind, name in enumerate(KIND_NAMES):
+            registry.counter_fn(f"kernel.dispatched.{name}", _kind_reader(kind))
+        queue = self.queue
+        registry.counter_fn("kernel.record_pushes", lambda: queue.pushes)
+        registry.counter_fn("kernel.record_allocations", lambda: queue.allocations)
+        registry.gauge_fn("kernel.queue_depth", lambda: len(queue))
+        registry.gauge_fn("kernel.queue_raw", lambda: queue.raw_size)
+        registry.gauge_fn("kernel.pool_size", lambda: queue.pool_size)
+        registry.gauge_fn("kernel.sim_time", lambda: self.now)
 
     # ------------------------------------------------------------------ #
     # Dispatch table
@@ -197,6 +233,8 @@ class Simulator:
                 f"exceeded max_events={self.max_events}; runaway simulation?"
             )
         kind = ev.kind
+        if self.kind_counts is not None:
+            self.kind_counts[kind] += 1
         if kind == KIND_CALLBACK:
             fn = ev.fn
             if fn is None:  # pragma: no cover - defensive
@@ -245,6 +283,7 @@ class Simulator:
         recycle = queue.recycle
         handlers = self._handlers
         max_events = self.max_events
+        kind_counts = self.kind_counts
         while True:
             ev = pop_until(t_end)
             if ev is None:
@@ -256,6 +295,8 @@ class Simulator:
                     f"exceeded max_events={max_events}; runaway simulation?"
                 )
             kind = ev.kind
+            if kind_counts is not None:
+                kind_counts[kind] += 1
             if kind == KIND_CALLBACK:
                 fn = ev.fn
                 if fn is None:  # pragma: no cover - defensive

@@ -17,6 +17,7 @@ Traces serve three purposes here:
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Any, Iterable, Iterator
 
@@ -70,7 +71,10 @@ class TraceRecorder:
         kinds: Iterable[str] | None = None,
     ) -> None:
         self.enabled = enabled
-        self._records: list[TraceRecord] = []
+        # A bounded deque evicts FIFO in O(1) per append; the list-based
+        # predecessor paid O(capacity) per append once full (`del lst[:1]`
+        # shifts every element), which made capped traces quadratic.
+        self._records: deque[TraceRecord] = deque(maxlen=capacity)
         self._capacity = capacity
         self._kinds = frozenset(kinds) if kinds is not None else None
         self.dropped = 0
@@ -81,12 +85,10 @@ class TraceRecorder:
             return
         if self._kinds is not None and kind not in self._kinds:
             return
-        self._records.append(TraceRecord(time, kind, subject, detail))
-        if self._capacity is not None and len(self._records) > self._capacity:
-            # Trim in blocks to keep amortised cost low.
-            excess = len(self._records) - self._capacity
-            del self._records[:excess]
-            self.dropped += excess
+        records = self._records
+        if records.maxlen is not None and len(records) == records.maxlen:
+            self.dropped += 1  # the deque evicts the oldest entry itself
+        records.append(TraceRecord(time, kind, subject, detail))
 
     def __len__(self) -> int:
         return len(self._records)
@@ -95,9 +97,14 @@ class TraceRecorder:
         return iter(self._records)
 
     @property
+    def capacity(self) -> int | None:
+        """The retention bound (``None`` = unbounded)."""
+        return self._capacity
+
+    @property
     def records(self) -> list[TraceRecord]:
-        """All retained records (the live list; do not mutate)."""
-        return self._records
+        """All retained records, oldest first (a fresh list)."""
+        return list(self._records)
 
     def filter(self, kind: str | None = None, subject: Any = None) -> list[TraceRecord]:
         """Return records matching the given kind and/or subject."""

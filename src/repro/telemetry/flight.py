@@ -1,0 +1,72 @@
+"""JSONL flight recorder: frames out, one line at a time.
+
+:class:`FlightRecorder` is the file sink for
+:class:`~repro.telemetry.sampler.TelemetrySampler` frames.  Each frame is
+written and flushed immediately so ``repro top --follow`` (and any other
+tail) sees frames as they happen, not at buffer boundaries.  The recorder
+never raises into the sampler thread's tick path beyond normal I/O errors
+-- a dead disk should surface, a slow one just delays frames.
+"""
+
+from __future__ import annotations
+
+import json
+from types import TracebackType
+from typing import IO, Any
+
+from .registry import MetricsRegistry
+from .schema import FRAME_VERSION
+
+__all__ = ["FlightRecorder", "build_frame"]
+
+
+def build_frame(
+    registry: MetricsRegistry, seq: int, t_wall: float, source: str
+) -> dict[str, Any]:
+    """Snapshot ``registry`` into one schema-versioned frame dict."""
+    snap = registry.snapshot()
+    return {
+        "v": FRAME_VERSION,
+        "seq": seq,
+        "t_wall": t_wall,
+        "source": source,
+        "counters": snap["counters"],
+        "gauges": snap["gauges"],
+        "histograms": snap["histograms"],
+    }
+
+
+class FlightRecorder:
+    """Append JSONL frames to ``path``; usable as a frame sink callable."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.frames_written = 0
+        self._fh: IO[str] | None = open(path, "w", encoding="utf-8")
+
+    def __call__(self, frame: dict[str, Any]) -> None:
+        """Write one frame as a JSON line and flush it."""
+        fh = self._fh
+        if fh is None:
+            return
+        fh.write(json.dumps(frame, sort_keys=True))
+        fh.write("\n")
+        fh.flush()
+        self.frames_written += 1
+
+    def close(self) -> None:
+        """Flush and close the file (idempotent)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "FlightRecorder":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self.close()

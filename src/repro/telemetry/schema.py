@@ -1,0 +1,126 @@
+"""The JSONL flight-recorder frame schema (version 1).
+
+A metrics file is a sequence of independent JSON objects, one per line::
+
+    {"v": 1, "seq": 3, "t_wall": 1.504, "source": "huge_ring",
+     "counters": {"kernel.events_dispatched": 163840, ...},
+     "gauges": {"kernel.queue_depth": 512, "oracle.worst_margin.global_skew": 3.1, ...},
+     "histograms": {"proc.gc_pause_s": {"bounds": [...], "counts": [...],
+                                        "count": 2, "total": 0.01, "max": 0.007}}}
+
+* ``v`` -- frame schema version (:data:`FRAME_VERSION`);
+* ``seq`` -- frame index within the stream, starting at 0;
+* ``t_wall`` -- seconds since the sampler started (monotonic clock);
+* ``source`` -- free-form label of the producing run;
+* ``counters`` -- monotone non-negative numbers;
+* ``gauges`` -- numbers or ``null`` (a gauge may have no reading yet --
+  e.g. the oracle's worst margin before its first check);
+* ``histograms`` -- fixed-bucket summaries; ``counts`` has exactly
+  ``len(bounds) + 1`` entries (the last is the overflow bucket).
+
+Validation is hand-rolled (:func:`validate_frame`): no third-party JSON
+Schema dependency, and errors carry the offending key for CI smoke output.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, NoReturn
+
+__all__ = ["FRAME_VERSION", "FrameError", "validate_frame"]
+
+#: Current frame schema version.
+FRAME_VERSION = 1
+
+
+class FrameError(ValueError):
+    """Raised by :func:`validate_frame` on a malformed frame."""
+
+
+def _fail(msg: str) -> NoReturn:
+    raise FrameError(msg)
+
+
+def _require_number(value: Any, where: str, *, allow_none: bool = False) -> None:
+    if value is None:
+        if not allow_none:
+            _fail(f"{where}: expected a number, got null")
+        return
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        _fail(f"{where}: expected a number, got {type(value).__name__}")
+
+
+def validate_frame(frame: Any) -> dict[str, Any]:
+    """Validate one decoded JSONL frame; returns it (for chaining).
+
+    Raises :class:`FrameError` naming the offending field otherwise.
+    """
+    if not isinstance(frame, Mapping):
+        _fail(f"frame must be an object, got {type(frame).__name__}")
+    missing = sorted(
+        k for k in ("v", "seq", "t_wall", "source", "counters", "gauges", "histograms")
+        if k not in frame
+    )
+    if missing:
+        _fail(f"frame is missing keys: {missing}")
+    if frame["v"] != FRAME_VERSION:
+        _fail(f"v: unsupported frame version {frame['v']!r} (want {FRAME_VERSION})")
+    seq = frame["seq"]
+    if isinstance(seq, bool) or not isinstance(seq, int) or seq < 0:
+        _fail(f"seq: expected a non-negative integer, got {seq!r}")
+    _require_number(frame["t_wall"], "t_wall")
+    if frame["t_wall"] < 0:
+        _fail(f"t_wall: must be non-negative, got {frame['t_wall']!r}")
+    if not isinstance(frame["source"], str):
+        _fail(f"source: expected a string, got {type(frame['source']).__name__}")
+    counters = frame["counters"]
+    if not isinstance(counters, Mapping):
+        _fail("counters: expected an object")
+    for name, value in counters.items():
+        _require_number(value, f"counters[{name!r}]")
+        if value < 0:
+            _fail(f"counters[{name!r}]: must be non-negative, got {value!r}")
+    gauges = frame["gauges"]
+    if not isinstance(gauges, Mapping):
+        _fail("gauges: expected an object")
+    for name, value in gauges.items():
+        _require_number(value, f"gauges[{name!r}]", allow_none=True)
+    histograms = frame["histograms"]
+    if not isinstance(histograms, Mapping):
+        _fail("histograms: expected an object")
+    for name, hist in histograms.items():
+        _validate_histogram(name, hist)
+    return dict(frame)
+
+
+def _validate_histogram(name: str, hist: Any) -> None:
+    where = f"histograms[{name!r}]"
+    if not isinstance(hist, Mapping):
+        _fail(f"{where}: expected an object")
+    missing = sorted(
+        k for k in ("bounds", "counts", "count", "total", "max") if k not in hist
+    )
+    if missing:
+        _fail(f"{where}: missing keys {missing}")
+    bounds = hist["bounds"]
+    counts = hist["counts"]
+    if not isinstance(bounds, list) or not bounds:
+        _fail(f"{where}.bounds: expected a non-empty array")
+    for i, b in enumerate(bounds):
+        _require_number(b, f"{where}.bounds[{i}]")
+    if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+        _fail(f"{where}.bounds: must strictly increase")
+    if not isinstance(counts, list) or len(counts) != len(bounds) + 1:
+        _fail(
+            f"{where}.counts: expected an array of {len(bounds) + 1} buckets "
+            f"(len(bounds) + 1)"
+        )
+    for i, c in enumerate(counts):
+        if isinstance(c, bool) or not isinstance(c, int) or c < 0:
+            _fail(f"{where}.counts[{i}]: expected a non-negative integer, got {c!r}")
+    count = hist["count"]
+    if isinstance(count, bool) or not isinstance(count, int) or count < 0:
+        _fail(f"{where}.count: expected a non-negative integer, got {count!r}")
+    if sum(counts) != count:
+        _fail(f"{where}: bucket counts sum to {sum(counts)}, count says {count}")
+    _require_number(hist["total"], f"{where}.total")
+    _require_number(hist["max"], f"{where}.max")

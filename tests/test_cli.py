@@ -433,3 +433,75 @@ class TestRunCommand:
         code, _, err = run_cli(capsys, "run", "static_ring", "--set", "bogus=1")
         assert code == 2
         assert "error" in err
+
+
+class TestTelemetry:
+    """`--metrics`/`--stats` on run, and the `top` viewer."""
+
+    #: Oracle-attached workload so all three instrument families appear.
+    RUN_ARGS = ("run", "large_ring", "--set", "n=16", "horizon=15")
+
+    def _record(self, capsys, tmp_path, *extra: str) -> tuple[int, str, str, str]:
+        path = str(tmp_path / "m.jsonl")
+        code, out, err = run_cli(
+            capsys, *self.RUN_ARGS, "--metrics", path, *extra
+        )
+        return code, out, err, path
+
+    def test_metrics_file_has_valid_frames(self, capsys, tmp_path):
+        from repro.telemetry import read_frames
+
+        code, _, _, path = self._record(capsys, tmp_path)
+        assert code == 0
+        frames = read_frames(path)  # validates every frame
+        assert len(frames) >= 2  # start frame + final frame
+        last = frames[-1]
+        names = last["counters"].keys() | last["gauges"].keys()
+        for prefix in ("kernel.", "transport.", "oracle."):
+            assert any(k.startswith(prefix) for k in names), prefix
+        assert last["counters"]["kernel.events_dispatched"] > 0
+
+    def test_stats_prints_end_of_run_table(self, capsys, tmp_path):
+        code, out, _, _ = self._record(capsys, tmp_path, "--stats")
+        assert code == 0
+        assert "end-of-run stats" in out
+        assert "kernel.events_dispatched" in out
+        assert "events/sec:" in out
+
+    def test_stats_without_metrics_file(self, capsys):
+        code, out, _ = run_cli(capsys, *self.RUN_ARGS, "--stats")
+        assert code == 0
+        assert "end-of-run stats" in out
+
+    def test_stats_under_json_keeps_stdout_parseable(self, capsys, tmp_path):
+        code, out, err, _ = self._record(capsys, tmp_path, "--stats", "--json")
+        assert code == 0
+        payload = json.loads(out)  # stdout is exactly one JSON document
+        assert payload["workload"] == "large_ring"
+        assert "end-of-run stats" in err
+
+    def test_top_renders_final_snapshot(self, capsys, tmp_path):
+        _, _, _, path = self._record(capsys, tmp_path)
+        code, out, _ = run_cli(capsys, "top", path)
+        assert code == 0
+        assert "kernel.events_dispatched" in out
+        assert "events/sec:" in out  # whole-run rate vs first frame
+
+    def test_top_empty_file_is_exit_one(self, capsys, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        code, _, err = run_cli(capsys, "top", str(empty))
+        assert code == 1
+        assert "no frames" in err
+
+    def test_top_invalid_frame_is_exit_two(self, capsys, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"v": 1}\n')
+        code, _, err = run_cli(capsys, "top", str(bad))
+        assert code == 2
+        assert "error" in err
+
+    def test_top_missing_file_is_exit_two(self, capsys, tmp_path):
+        code, _, err = run_cli(capsys, "top", str(tmp_path / "nope.jsonl"))
+        assert code == 2
+        assert "error" in err

@@ -95,6 +95,34 @@ class TestRunResult:
         assert res.trace is not None
         assert len(res.trace.filter(kind="send")) > 0
 
+    def test_summary_reports_trace_drops(self):
+        from repro.sim.tracing import TraceRecorder
+
+        cfg = configs.static_path(4, horizon=10.0)
+        cfg.trace = True
+        res = run_experiment(cfg)
+        assert "trace records dropped" not in res.summary()
+        capped = TraceRecorder(capacity=2)
+        for i in range(5):
+            capped.record(float(i), "send", i)
+        res.trace = capped
+        assert "trace records dropped: 3 (capacity 2)" in res.summary()
+
+    def test_summary_reports_oracle_truncation(self):
+        from repro.oracle.oracle import OracleReport
+
+        res = run_experiment(configs.static_ring(6, horizon=30.0))
+        res.oracle_report = OracleReport(
+            ok=False,
+            checks=10,
+            violation_count=7,
+            violations=(),  # the max_recorded cap dropped all 7 records
+            worst_margin=-1.0,
+        )
+        s = res.summary()
+        assert "7 violations" in s
+        assert "oracle violations truncated: 7 not recorded" in s
+
 
 class TestDeterminism:
     def test_same_seed_same_results(self):

@@ -176,6 +176,40 @@ class TestTracing:
         tr.record(1.0, "recv", 2)
         assert len(tr) == 1
 
+    def test_records_returns_fresh_list(self):
+        tr = TraceRecorder()
+        tr.record(1.0, "send", 1)
+        snapshot = tr.records
+        snapshot.append("junk")
+        assert len(tr) == 1
+
+    def test_capacity_eviction_cost_is_independent_of_capacity(self):
+        """Appends at capacity must be O(1), not O(capacity).
+
+        The list-based predecessor trimmed with ``del lst[:1]`` -- an
+        O(capacity) shift per append once full, i.e. a 1000x per-append
+        penalty at capacity 100k vs 100. With deque eviction the two
+        capacities cost the same; the bound below fails at ~10x, far
+        under the regression's 1000x but over any plausible noise.
+        """
+        import time as _time
+
+        def append_cost(capacity: int, appends: int) -> float:
+            tr = TraceRecorder(capacity=capacity)
+            for i in range(capacity):  # fill to the brim first
+                tr.record(0.0, "k", i)
+            t0 = _time.perf_counter()
+            for i in range(appends):
+                tr.record(1.0, "k", i)
+            return _time.perf_counter() - t0
+
+        small = append_cost(100, 5_000)
+        large = append_cost(100_000, 5_000)
+        assert large < small * 10 + 0.05, (
+            f"eviction cost scales with capacity: {large:.4f}s at 100k "
+            f"vs {small:.4f}s at 100"
+        )
+
 
 class TestPeriodicValidation:
     def test_every_rejects_end_before_start(self):
