@@ -1,0 +1,131 @@
+"""Experiment: causal tracing overhead on the kernel's flagship workload.
+
+PR 7's tracer (repro.tracing) hooks every message flight, timer fire and
+jump on the simulator's hot path.  The design contract is that tracing is
+(a) bit-identical -- hooks draw no RNG and schedule nothing -- and (b)
+cheap: one ``list.extend`` per span against the flat stride-8 table,
+written optimistically closed so deliveries touch nothing, so a traced
+run must stay within 10% of the untraced wall clock on ``huge_ring`` at
+production scale.  This benchmark measures exactly that contract and
+fails if the overhead budget is blown.
+
+**Measurement protocol.**  Shared-machine wall clocks drift by tens of
+percent over seconds, so single before/after timings are meaningless.
+Each traced run is paired with an immediately preceding untraced run
+(adjacent runs share the machine's current speed, so their ratio cancels
+the drift) and the reported overhead is the *median of the paired
+ratios* -- robust to the occasional descheduled outlier in either arm.
+A full garbage collection runs before every timed run; the harness
+itself pauses the collector around the event loop.
+
+Both runs execute inline (never through the sweep cache -- wall-clock is
+the measurement); the traced runs also sanity-check the span table: one
+flight span per transport send, zero spans lost to capacity.
+"""
+
+from __future__ import annotations
+
+import gc
+import statistics
+import time
+
+from repro.analysis import TextTable
+from repro.harness import configs, run_experiment
+from repro.tracing import SPAN_FLIGHT, trace_session
+
+from _common import emit, run_once, write_bench_json
+
+N = 512
+HORIZON = 30.0
+SEED = 1
+#: Acceptance budget: traced wall-clock within 10% of untraced.
+MAX_OVERHEAD = 0.10
+#: Interleaved (untraced, traced) pairs; overhead = median of ratios.
+PAIRS = 9
+
+
+def _run_overhead() -> tuple[str, bool, dict]:
+    cfg = configs.huge_ring(N, horizon=HORIZON, seed=SEED)
+    run_experiment(cfg)  # warmup: imports, allocator, branch caches
+
+    ratios: list[float] = []
+    base_times: list[float] = []
+    traced_times: list[float] = []
+    base = traced = None
+    for _ in range(PAIRS):
+        gc.collect()
+        t0 = time.perf_counter()
+        base = run_experiment(cfg)
+        base_times.append(time.perf_counter() - t0)
+        gc.collect()
+        with trace_session():
+            t0 = time.perf_counter()
+            traced = run_experiment(cfg)
+            traced_times.append(time.perf_counter() - t0)
+        ratios.append(traced_times[-1] / max(base_times[-1], 1e-9))
+    assert base is not None and traced is not None
+    overhead = statistics.median(ratios) - 1.0
+
+    # Neutrality spot-check: identical physics with and without the tracer.
+    identical = (
+        base.events_dispatched == traced.events_dispatched
+        and base.total_jumps() == traced.total_jumps()
+        and base.transport_stats == traced.transport_stats
+    )
+    spans = traced.spans
+    assert spans is not None
+    flights = spans.kind_counts[SPAN_FLIGHT]
+    sends = int(traced.transport_stats["sent"])
+    accounted = flights == sends and spans.dropped == 0
+
+    within_budget = overhead <= MAX_OVERHEAD
+    ok = within_budget and identical and accounted
+
+    base_med = statistics.median(base_times)
+    traced_med = statistics.median(traced_times)
+    table = TextTable(
+        ["mode", "median s", "events/sec", "spans"],
+        title=(
+            f"tracing overhead: huge_ring n={N} horizon={HORIZON} "
+            f"({PAIRS} interleaved pairs; budget {MAX_OVERHEAD:.0%})"
+        ),
+    )
+    table.add_row(
+        ["untraced", f"{base_med:.3f}",
+         round(base.events_dispatched / max(base_med, 1e-9)), "-"]
+    )
+    table.add_row(
+        ["traced", f"{traced_med:.3f}",
+         round(traced.events_dispatched / max(traced_med, 1e-9)), len(spans)]
+    )
+    txt = table.render() + (
+        f"\noverhead (median of paired ratios): {overhead:+.2%} "
+        f"(budget {MAX_OVERHEAD:.0%}) -- "
+        f"{'PASS' if within_budget else 'FAIL'}; "
+        f"physics identical: {identical}; "
+        f"{flights} flight spans for {sends} sends, {spans.dropped} lost\n"
+    )
+    payload = {
+        "n": N,
+        "horizon": HORIZON,
+        "pairs": PAIRS,
+        "paired_ratios": [round(r, 4) for r in ratios],
+        "untraced_seconds": base_med,
+        "traced_seconds": traced_med,
+        "overhead": overhead,
+        "overhead_budget": MAX_OVERHEAD,
+        "events_dispatched": base.events_dispatched,
+        "spans": len(spans),
+        "flight_spans": flights,
+        "spans_dropped": spans.dropped,
+        "identical_physics": identical,
+        "ok": ok,
+    }
+    return txt, ok, payload
+
+
+def test_bench_trace_overhead(benchmark):
+    txt, ok, payload = run_once(benchmark, _run_overhead)
+    emit("trace_overhead", txt)
+    write_bench_json("trace_overhead", payload)
+    assert ok, "tracing must stay neutral, lossless and within the 10% budget"

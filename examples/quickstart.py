@@ -107,6 +107,15 @@ def main(seed: int = 0) -> None:
     #   python -m repro run huge_ring --set n=512 --stats
     #   python -m repro run huge_ring --set n=512 --metrics out.jsonl
     #   python -m repro top out.jsonl
+    # And when you need *why*, not just *how much*: causal tracing
+    # records every flight/timer/jump as a happens-before span, exports
+    # a Perfetto timeline (open trace.json at https://ui.perfetto.dev),
+    # and `repro explain` walks the DAG backward from a bound violation
+    # to a ranked cause report:
+    #   python -m repro run static_ring --set n=8 horizon=60 seed=3 \
+    #       --trace-out trace.json
+    #   python -m repro explain adversarial_delay --set n=8 horizon=120 \
+    #       seed=1 --bound-scale 0.3
 
 
 if __name__ == "__main__":

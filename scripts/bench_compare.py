@@ -1,0 +1,201 @@
+#!/usr/bin/env python
+"""Diff two versioned ``BENCH_*.json`` artifacts and flag regressions.
+
+The benchmarks under ``benchmarks/`` each write a versioned artifact
+(``benchmarks/results/BENCH_<name>.json``, see ``_common.write_bench_json``)
+so perf changes are reviewable across commits.  This tool compares two
+such artifacts -- typically the checked-in/baseline one against a freshly
+generated one -- and exits non-zero when a *directional* metric moved the
+wrong way by more than the threshold:
+
+* metrics whose name ends in ``seconds``, ``overhead``, ``dropped`` or
+  ``lost`` are better **lower**;
+* metrics whose name contains ``per_sec`` are better **higher**;
+* boolean metrics regress when they flip ``true -> false``;
+* everything else is informational (reported, never failing).
+
+Artifacts from different benchmarks never compare; artifacts from
+different package versions refuse to compare unless
+``--allow-version-mismatch`` is given (a version bump usually means the
+workload itself changed, which would make deltas meaningless).
+
+Usage::
+
+    python scripts/bench_compare.py OLD.json NEW.json [--threshold 0.10]
+        [--allow-version-mismatch] [--json]
+
+Exit codes: 0 = no regression, 1 = regression beyond threshold,
+2 = artifacts not comparable / unreadable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+from typing import Any, Iterator
+
+#: Metric-name suffixes where a lower value is an improvement.
+LOWER_IS_BETTER = ("seconds", "overhead", "dropped", "lost")
+#: Metric-name fragments where a higher value is an improvement.
+HIGHER_IS_BETTER = ("per_sec",)
+
+
+def flatten(value: Any, prefix: str = "") -> Iterator[tuple[str, Any]]:
+    """Yield ``(dotted.path, leaf)`` for every scalar leaf of ``value``."""
+    if isinstance(value, dict):
+        for key in sorted(value):
+            path = f"{prefix}.{key}" if prefix else str(key)
+            yield from flatten(value[key], path)
+    elif isinstance(value, list):
+        for i, item in enumerate(value):
+            yield from flatten(item, f"{prefix}[{i}]")
+    else:
+        yield prefix, value
+
+
+def direction(path: str) -> int:
+    """-1 = lower is better, +1 = higher is better, 0 = informational."""
+    leaf = path.rsplit(".", 1)[-1]
+    if any(leaf.endswith(suffix) for suffix in LOWER_IS_BETTER):
+        return -1
+    if any(frag in leaf for frag in HIGHER_IS_BETTER):
+        return 1
+    return 0
+
+
+def compare(
+    old: dict[str, Any], new: dict[str, Any], threshold: float
+) -> dict[str, Any]:
+    """Build the comparison report for two parsed artifacts."""
+    old_leaves = dict(flatten(old))
+    new_leaves = dict(flatten(new))
+    rows: list[dict[str, Any]] = []
+    regressions: list[str] = []
+    rel_deltas: list[float] = []
+    for path in sorted(set(old_leaves) & set(new_leaves)):
+        if path in ("bench", "version"):
+            continue
+        a, b = old_leaves[path], new_leaves[path]
+        if isinstance(a, bool) or isinstance(b, bool):
+            if a != b:
+                regressed = bool(a) and not bool(b)
+                rows.append(
+                    {"metric": path, "old": a, "new": b,
+                     "regressed": regressed}
+                )
+                if regressed:
+                    regressions.append(path)
+            continue
+        if not isinstance(a, (int, float)) or not isinstance(b, (int, float)):
+            continue
+        delta = b - a
+        rel = delta / abs(a) if a else (0.0 if not delta else float("inf"))
+        sense = direction(path)
+        regressed = sense != 0 and rel * -sense > threshold
+        if sense != 0:
+            rel_deltas.append(rel * -sense)  # >0 == got worse
+        if delta or regressed:
+            rows.append(
+                {"metric": path, "old": a, "new": b, "delta": delta,
+                 "rel": rel, "directional": sense != 0,
+                 "regressed": regressed}
+            )
+        if regressed:
+            regressions.append(path)
+    return {
+        "bench": new.get("bench"),
+        "old_version": old.get("version"),
+        "new_version": new.get("version"),
+        "threshold": threshold,
+        "median_directional_delta": (
+            statistics.median(rel_deltas) if rel_deltas else 0.0
+        ),
+        "changes": rows,
+        "regressions": regressions,
+        "ok": not regressions,
+    }
+
+
+def _load(path: str) -> dict[str, Any]:
+    try:
+        with open(path, encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"error: cannot read {path}: {exc}")
+    if not isinstance(data, dict) or "bench" not in data:
+        raise SystemExit(f"error: {path} is not a BENCH_*.json artifact")
+    return data
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("old", help="baseline BENCH_*.json artifact")
+    parser.add_argument("new", help="freshly generated BENCH_*.json artifact")
+    parser.add_argument(
+        "--threshold", type=float, default=0.10,
+        help="relative worsening beyond which a directional metric fails "
+             "(default 0.10 = 10%%)",
+    )
+    parser.add_argument(
+        "--allow-version-mismatch", action="store_true",
+        help="compare artifacts from different package versions anyway",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the full comparison as JSON",
+    )
+    args = parser.parse_args(argv)
+
+    old, new = _load(args.old), _load(args.new)
+    if old["bench"] != new["bench"]:
+        print(
+            f"error: artifacts are different benchmarks "
+            f"({old['bench']!r} vs {new['bench']!r})", file=sys.stderr,
+        )
+        return 2
+    if old.get("version") != new.get("version") and not args.allow_version_mismatch:
+        print(
+            f"error: artifacts are from different versions "
+            f"({old.get('version')!r} vs {new.get('version')!r}); "
+            f"pass --allow-version-mismatch to compare anyway",
+            file=sys.stderr,
+        )
+        return 2
+
+    report = compare(old, new, args.threshold)
+    if args.as_json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(
+            f"bench {report['bench']}: {args.old} "
+            f"(v{report['old_version']}) -> {args.new} "
+            f"(v{report['new_version']})"
+        )
+        for row in report["changes"]:
+            if "delta" in row:
+                mark = "!!" if row["regressed"] else (
+                    "  " if row["directional"] else " ."
+                )
+                print(
+                    f" {mark} {row['metric']}: {row['old']} -> {row['new']} "
+                    f"({row['rel']:+.2%})"
+                )
+            else:
+                mark = "!!" if row["regressed"] else "  "
+                print(f" {mark} {row['metric']}: {row['old']} -> {row['new']}")
+        print(
+            f"median directional delta: "
+            f"{report['median_directional_delta']:+.2%} "
+            f"(threshold {args.threshold:.0%})"
+        )
+        if report["regressions"]:
+            print(f"REGRESSED: {', '.join(report['regressions'])}")
+        else:
+            print("no regressions")
+    return 0 if report["ok"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

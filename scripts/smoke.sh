@@ -72,6 +72,32 @@ for prefix in ("kernel.", "transport.", "oracle."):
 ' "$store/metrics.jsonl"
 python -m repro top "$store/metrics.jsonl" > /dev/null
 
+echo "== causal tracing + forensics =="
+# A traced run must export valid Perfetto/Chrome JSON with flow events,
+# and `repro explain` must attribute a seeded broken-bound violation to
+# the delay adversary (docs/observability.md).
+python -m repro run static_ring --set n=8 horizon=60 seed=3 \
+    --trace-out "$store/trace.json" --json > /dev/null
+python -c '
+import json, sys
+doc = json.load(open(sys.argv[1]))
+events = doc["traceEvents"]
+if not events or not all("ph" in e and "ts" in e for e in events):
+    sys.exit("FAIL: exported trace is not valid Chrome trace JSON")
+if not any(e["ph"] == "s" for e in events):
+    sys.exit("FAIL: no flow events in exported trace")
+' "$store/trace.json"
+python -m repro explain adversarial_delay --set n=8 horizon=120 seed=1 \
+    --bound-scale 0.3 --max-reports 1 --json | python -c '
+import json, sys
+reports = json.load(sys.stdin)["reports"]
+if not reports:
+    sys.exit("FAIL: explain produced no cause reports")
+top = reports[0]["causes"][0]
+if top["kind"] != "causal_chain" or top["data"]["masked_count"] < 1:
+    sys.exit(f"FAIL: adversary not attributed: {top}")
+'
+
 echo "== streaming conformance oracle =="
 python -m repro check static_ring --set n=6 horizon=20
 # A deliberately broken bound must exit with exactly 1 (violation

@@ -1,16 +1,17 @@
 """Command-line interface: ``python -m repro`` (or the ``repro`` script).
 
-Eight subcommands drive the sweep, conformance, live and telemetry
-subsystems from the shell (plus ``--version``):
+Nine subcommands drive the sweep, conformance, live, telemetry and
+tracing subsystems from the shell (plus ``--version``):
 
 ``run WORKLOAD``
     Execute one named workload once and print its summary (events,
     throughput, skews, oracle verdict).  ``--profile`` wraps the run in
     cProfile and prints the top cumulative entries -- the standard tool
     for kernel performance work (see docs/performance.md).  ``--metrics
-    out.jsonl`` streams flight-recorder frames while the run executes and
-    ``--stats`` prints the end-of-run telemetry table (see
-    docs/observability.md).
+    out.jsonl`` streams flight-recorder frames while the run executes,
+    ``--stats`` prints the end-of-run telemetry table, and ``--trace-out
+    t.json`` exports the run's causal spans as Chrome-trace/Perfetto JSON
+    (see docs/observability.md).
 
 ``sweep WORKLOAD``
     Expand a named workload from :data:`repro.harness.configs.WORKLOADS`
@@ -25,6 +26,14 @@ subsystems from the shell (plus ``--version``):
     and exit nonzero on any violated theorem bound.  ``--fuzz N`` also
     checks ``N`` randomly generated workloads from
     :mod:`repro.testing.strategies`.
+
+``explain WORKLOAD``
+    Run one workload with causal tracing and the oracle armed, then walk
+    the happens-before DAG backwards from each violation to a ranked
+    causal chain (:mod:`repro.tracing.forensics`): the message flights
+    that carried the stale estimate, adversary-masked delays along them,
+    churn and jumps in the window.  ``--bound-scale 0.5`` tightens the
+    bounds to provoke violations; ``--trace-out`` also exports the trace.
 
 ``live``
     Run a ``live_*`` workload as a real wall-clock asyncio session
@@ -226,6 +235,40 @@ def _telemetry_start(args: argparse.Namespace, source: str) -> tuple[Any, Any]:
     return sampler, stop
 
 
+def _tracing_start(args: argparse.Namespace) -> tuple[Any, Any]:
+    """Enable ambient causal tracing when ``--trace-out`` asks for it.
+
+    Returns ``(tracer, stop)`` analogous to :func:`_telemetry_start`;
+    ``(None, noop)`` when tracing was not requested.  The span table
+    outlives ``stop()`` (results keep a reference), so exporting after
+    teardown is fine.
+    """
+    if not getattr(args, "trace_out", None):
+        return None, lambda: None
+    from .tracing import activate_tracing, deactivate_tracing
+
+    tracer = activate_tracing()
+    stopped = False
+
+    def stop() -> None:
+        nonlocal stopped
+        if stopped:
+            return
+        stopped = True
+        deactivate_tracing()
+
+    return tracer, stop
+
+
+def _trace_export(args: argparse.Namespace, result: Any) -> dict[str, int] | None:
+    """Write the Chrome-trace file for a traced run; returns its counts."""
+    if not getattr(args, "trace_out", None) or result.spans is None:
+        return None
+    from .tracing import export_chrome_trace
+
+    return export_chrome_trace(result.spans, args.trace_out)
+
+
 def _print_stats(args: argparse.Namespace, sampler: Any, source: str) -> None:
     """Print the end-of-run --stats table (stderr in --json mode)."""
     if not args.stats or sampler is None or sampler.last_frame is None:
@@ -269,6 +312,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         processes=args.processes,
         store=store,
         progress=_progress_printer(args.quiet),
+        metrics_dir=args.metrics_dir,
     )
     t0 = time.perf_counter()
     try:
@@ -376,6 +420,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         profiler = cProfile.Profile()
         profiler.enable()
     sampler, telemetry_stop = _telemetry_start(args, args.workload)
+    _tracer, tracing_stop = _tracing_start(args)
     t0 = time.perf_counter()
     try:
         result = run_experiment(cfg)
@@ -383,6 +428,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if profiler is not None:
             profiler.disable()
         telemetry_stop()
+        tracing_stop()
         print(f"error: {exc}", file=sys.stderr)
         return 2
     elapsed = time.perf_counter() - t0
@@ -390,6 +436,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         profiler.disable()
     # Final frame before any reporting, so --stats sees the finished run.
     telemetry_stop()
+    tracing_stop()
+    trace_counts = _trace_export(args, result)
     events_per_sec = result.events_dispatched / max(elapsed, 1e-9)
     report = result.oracle_report
     if args.json:
@@ -409,10 +457,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
         }
         if report is not None:
             payload.update(report.to_metrics())
+        if trace_counts is not None:
+            payload["trace"] = {"path": args.trace_out, **trace_counts}
         print(json.dumps(payload, sort_keys=True))
     else:
         print(result.summary())
         print(f"  wall: {elapsed:.2f}s  throughput: {events_per_sec:,.0f} events/s")
+        if trace_counts is not None:
+            print(
+                f"  trace: wrote {args.trace_out} ({trace_counts['spans']} "
+                f"spans, {trace_counts['flows']} flow events)"
+            )
         if report is not None and not report.ok:
             print(report.render(max_lines=CHECK_MAX_VIOLATIONS))
     _print_stats(args, sampler, args.workload)
@@ -509,6 +564,7 @@ def _cmd_live(args: argparse.Namespace) -> int:
         )
         return 2
     sampler, telemetry_stop = _telemetry_start(args, args.workload)
+    _tracer, tracing_stop = _tracing_start(args)
     t0 = time.perf_counter()
     try:
         result = run_experiment(cfg)
@@ -516,10 +572,13 @@ def _cmd_live(args: argparse.Namespace) -> int:
         # Infrastructure failures (socket binds, wedged loop) are exit 2,
         # like `check`; exit 1 strictly means "a paper bound was violated".
         telemetry_stop()
+        tracing_stop()
         print(f"error: {exc}", file=sys.stderr)
         return 2
     elapsed = time.perf_counter() - t0
     telemetry_stop()
+    tracing_stop()
+    trace_counts = _trace_export(args, result)
     report = result.oracle_report
     if args.json:
         payload: dict[str, Any] = {
@@ -537,13 +596,97 @@ def _cmd_live(args: argparse.Namespace) -> int:
         }
         if report is not None:
             payload.update(report.to_metrics())
+        if trace_counts is not None:
+            payload["trace"] = {"path": args.trace_out, **trace_counts}
         print(json.dumps(payload, sort_keys=True))
     else:
         print(result.summary())
+        if trace_counts is not None:
+            print(
+                f"  trace: wrote {args.trace_out} ({trace_counts['spans']} "
+                f"spans, {trace_counts['flows']} flow events)"
+            )
         if report is not None and not report.ok:
             print(report.render(max_lines=CHECK_MAX_VIOLATIONS))
     _print_stats(args, sampler, args.workload)
     return 0 if report is None or report.ok else 1
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    """Run one workload traced + monitored, then explain its violations.
+
+    Exit code 0 means the forensics ran (whether or not the oracle was
+    violated -- unlike `check`, this command's job is the report, not the
+    verdict); 2 means the run itself failed.
+    """
+    from dataclasses import replace
+
+    from .harness.registry import OracleRef
+    from .harness.runner import run_experiment
+    from .tracing import explain_result, export_chrome_trace, trace_session
+
+    factory = WORKLOADS.get(args.workload)
+    if factory is None:
+        print(
+            f"error: unknown workload {args.workload!r}; choose from "
+            f"{sorted(WORKLOADS)}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        cfg = factory(**_single_assignments(args.set))
+    except (KeyError, TypeError, ValueError, argparse.ArgumentTypeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    oracle_kwargs: dict[str, Any] = {"bound_scale": args.bound_scale}
+    if args.interval is not None:
+        oracle_kwargs["interval"] = args.interval
+    # Same memory-bounded stance as `check`: the recorder stays off; the
+    # span table is the only history kept.
+    cfg = replace(
+        cfg, record=False, track_edges=False, track_max_estimates=False,
+        oracle=OracleRef("standard", oracle_kwargs),
+    )
+    try:
+        with trace_session():
+            result = run_experiment(cfg)
+    except Exception as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.trace_out and result.spans is not None:
+        export_chrome_trace(result.spans, args.trace_out)
+    report = result.oracle_report
+    assert report is not None and result.spans is not None
+    reports = explain_result(result, max_reports=args.max_reports)
+    if args.json:
+        payload: dict[str, Any] = {
+            "workload": args.workload,
+            "name": cfg.name,
+            "bound_scale": args.bound_scale,
+            "oracle_ok": report.ok,
+            "checks": report.checks,
+            "violations": report.violation_count,
+            "spans": len(result.spans),
+            "reports": [rep.to_dict() for rep in reports],
+        }
+        if args.trace_out:
+            payload["trace_out"] = args.trace_out
+        print(json.dumps(payload, sort_keys=True))
+    elif report.ok:
+        print(
+            f"oracle OK ({report.checks} checks, "
+            f"{len(result.spans)} spans recorded); nothing to explain"
+        )
+    else:
+        print(
+            f"oracle VIOLATED: {report.violation_count} violation(s); "
+            f"explaining the first {len(reports)} "
+            f"against {len(result.spans)} spans"
+        )
+        for rep in reports:
+            print()
+            print(rep.describe())
+    return 0
 
 
 def _cmd_top(args: argparse.Namespace) -> int:
@@ -728,6 +871,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p_sweep.add_argument("--no-cache", action="store_true", help="force re-execution")
     p_sweep.add_argument(
+        "--metrics-dir",
+        metavar="DIR",
+        default=None,
+        help="write one flight-recorder JSONL per executed (non-cached) "
+        "point into DIR (render with `repro top`; docs/observability.md)",
+    )
+    p_sweep.add_argument(
         "--csv", metavar="PATH", help="also write tidy rows as CSV ('-' for stdout)"
     )
     p_sweep.add_argument(
@@ -831,6 +981,59 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p_check.set_defaults(func=_cmd_check)
 
+    p_explain = sub.add_parser(
+        "explain",
+        help="trace a workload and explain its oracle violations causally",
+        description=(
+            "Run one workload with causal tracing and the conformance "
+            "oracle armed, then walk the happens-before DAG backwards from "
+            "each violation to a ranked causal chain (repro.tracing): which "
+            "message flights carried the stale estimate, whether an "
+            "adversary masked delays along the way, what churned. Exits 0 "
+            "whenever the forensics ran (use `check` for a pass/fail "
+            "verdict). Workloads: " + ", ".join(sorted(WORKLOADS))
+        ),
+    )
+    p_explain.add_argument("workload", help="workload name (see --help for the list)")
+    p_explain.add_argument(
+        "--set",
+        metavar="KEY=VALUE",
+        nargs="+",
+        action="extend",
+        help="workload arguments (e.g. --set n=8 horizon=120)",
+    )
+    p_explain.add_argument(
+        "--bound-scale",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="scale every upper bound by S (S < 1 tightens; for testing)",
+    )
+    p_explain.add_argument(
+        "--interval",
+        type=float,
+        default=None,
+        metavar="T",
+        help="oracle sampling interval (default: the workload's sample_interval)",
+    )
+    p_explain.add_argument(
+        "--max-reports",
+        type=int,
+        default=3,
+        metavar="N",
+        help="explain at most the first N violations (default: 3)",
+    )
+    p_explain.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="also export the span table as Chrome-trace/Perfetto JSON",
+    )
+    p_explain.add_argument(
+        "--json", action="store_true", help="print the cause reports as JSON"
+    )
+    p_explain.set_defaults(func=_cmd_explain)
+
     live_workloads = sorted(w for w in WORKLOADS if w.startswith("live_"))
     p_live = sub.add_parser(
         "live",
@@ -889,6 +1092,13 @@ def _build_parser() -> argparse.ArgumentParser:
             "--stats",
             action="store_true",
             help="print the end-of-run telemetry table (stderr in --json mode)",
+        )
+        p.add_argument(
+            "--trace-out",
+            metavar="PATH",
+            default=None,
+            help="write a Chrome-trace/Perfetto JSON of the run's causal "
+            "spans to PATH (open at ui.perfetto.dev; docs/observability.md)",
         )
 
     p_top = sub.add_parser(

@@ -35,13 +35,14 @@ core's algorithm-specific state for tests and analysis code.
 
 from __future__ import annotations
 
-from typing import Any, Callable, ClassVar
+from typing import TYPE_CHECKING, Any, Callable, ClassVar
 
 from ..params import SystemParams
 from ..sim.clocks import HardwareClock
 from ..sim.events import KIND_TIMER, PRIORITY_TIMER, ScheduledEvent
 from ..sim.simulator import Simulator
 from ..sim.tracing import NULL_TRACE, TraceRecorder
+from ..tracing.spans import SPAN_TIMER, STATUS_DONE
 from .protocol import (
     CancelTimer,
     DiscoverAdd,
@@ -56,6 +57,9 @@ from .protocol import (
     Start,
     TimerFired,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checking
+    from ..tracing.context import Tracer
 
 __all__ = ["ClockSyncNode", "NodeTable"]
 
@@ -185,6 +189,12 @@ class ClockSyncNode:
         #: Set to a list to capture ``(now_h, event, effects)`` per dispatch
         #: (used by the sim<->live parity tests; ``None`` = off, free).
         self.effect_log: list[EffectLogEntry] | None = None
+        #: Span tracer (``None`` when causal tracing is off).
+        self._tracer: "Tracer | None" = None
+
+    def attach_tracer(self, tracer: "Tracer") -> None:
+        """Record timer-fire and jump spans into ``tracer``."""
+        self._tracer = tracer
 
     # ------------------------------------------------------------------ #
     # Clock reads
@@ -257,9 +267,10 @@ class ClockSyncNode:
             elif kind is CancelTimer:
                 self.cancel_timer(eff.key)
             elif kind is JumpL:
-                self.trace.record(
-                    now, "jump", self.node_id, eff.new_value - core.logical_clock_at(core.h_last)
-                )
+                delta = eff.new_value - core.logical_clock_at(core.h_last)
+                self.trace.record(now, "jump", self.node_id, delta)
+                if self._tracer is not None:
+                    self._tracer.jump(self.node_id, now, delta)
                 core.apply_jump(eff.new_value)
             # RaiseLmax is informational: already applied by the core.
 
@@ -275,9 +286,10 @@ class ClockSyncNode:
             elif kind is CancelTimer:
                 self.cancel_timer(eff.key)
             elif kind is JumpL:
-                self.trace.record(
-                    now, "jump", self.node_id, eff.new_value - core.logical_clock_at(core.h_last)
-                )
+                delta = eff.new_value - core.logical_clock_at(core.h_last)
+                self.trace.record(now, "jump", self.node_id, delta)
+                if self._tracer is not None:
+                    self._tracer.jump(self.node_id, now, delta)
                 core.apply_jump(eff.new_value)
             # RaiseLmax is informational: already applied by the core.
 
@@ -320,7 +332,26 @@ class ClockSyncNode:
 
     def _fire_timer(self, key: Any) -> None:
         self._timers.pop(key, None)
-        self._dispatch(TimerFired(key))
+        tracer = self._tracer
+        if tracer is not None:
+            # Inline timer_fired + reset_current (per-timer hot path; see
+            # Tracer's class docstring).
+            now = self.sim.now
+            tdata = tracer.data
+            sid = len(tdata) >> 3
+            if sid < tracer.capacity:
+                tdata.extend(
+                    (SPAN_TIMER, self.node_id, -1, now, now, -1,
+                     STATUS_DONE, 0.0)
+                )
+            else:
+                tracer.table.dropped += 1
+                sid = -1
+            tracer.current = sid
+            self._dispatch(TimerFired(key))
+            tracer.current = -1
+        else:
+            self._dispatch(TimerFired(key))
 
     # ------------------------------------------------------------------ #
     # Transport entry points
@@ -361,12 +392,10 @@ class ClockSyncNode:
         """Discretely raise ``L`` to ``new_value`` (never lowers)."""
         core = self.core
         if new_value > core.logical_clock_at(core.h_last):
-            self.trace.record(
-                self.sim.now,
-                "jump",
-                self.node_id,
-                new_value - core.logical_clock_at(core.h_last),
-            )
+            delta = new_value - core.logical_clock_at(core.h_last)
+            self.trace.record(self.sim.now, "jump", self.node_id, delta)
+            if self._tracer is not None:
+                self._tracer.jump(self.node_id, self.sim.now, delta)
             core.apply_jump(new_value)
 
     def run_core_action(self, action: Callable[[], None]) -> None:

@@ -44,6 +44,8 @@ from ..sim.rng import RngFactory
 from ..sim.simulator import Simulator
 from ..sim.tracing import TraceRecorder
 from ..telemetry.registry import active_registry
+from ..tracing.context import Tracer, active_tracer
+from ..tracing.spans import SpanTable
 from .registry import (
     CLOCK_BUILDERS,
     DELAY_BUILDERS,
@@ -351,6 +353,10 @@ class RunResult:
     events_dispatched: int
     trace: TraceRecorder | None = None
     oracle_report: OracleReport | None = None
+    #: Causal span table (``None`` unless tracing was active for the run).
+    spans: SpanTable | None = None
+    #: Forensic cause reports, filled by ``repro.tracing.explain_result``.
+    cause_reports: list[Any] = field(default_factory=list)
 
     @property
     def params(self) -> SystemParams:
@@ -614,6 +620,20 @@ class Experiment:
                 adv = adv(params, adversary_rng)
             adv.install(self.sim, self.graph, self.nodes)
             self.adversary = adv
+        # 6b. Causal tracing (ambient, like telemetry below: never part of
+        #     the config dict).  Must attach BEFORE nodes start: Start()
+        #     dispatches emit sends at t=0, and every flight span's id is
+        #     carried on its delivery record, so the tracer has to see the
+        #     send that schedules it.  Hooks draw no RNG and schedule
+        #     nothing, so traced runs stay bit-identical (the neutrality
+        #     tests pin this).
+        self.tracer: Tracer | None = active_tracer()
+        if self.tracer is not None:
+            self.transport.attach_tracer(self.tracer)
+            for node in self.node_list:
+                node.attach_tracer(self.tracer)
+            if self.oracle is not None:
+                self.oracle.attach_tracer(self.tracer)
         # 7. Start node activity.
         for i in sorted(self.nodes):
             self.nodes[i].start()
@@ -627,6 +647,8 @@ class Experiment:
             self.transport.instrument(telemetry)
             if self.oracle is not None:
                 self.oracle.instrument(telemetry)
+            if self.tracer is not None:
+                self.tracer.instrument(telemetry)
 
     def run(self) -> RunResult:
         """Run to the horizon and package the results.
@@ -647,6 +669,10 @@ class Experiment:
             if gc_was_enabled:
                 gc.enable()
                 gc.collect()
+        if self.tracer is not None:
+            # Patch the optimistically-closed spans of messages the
+            # horizon caught mid-flight (O(pending queue), not O(spans)).
+            self.transport.finalize_tracing()
         if self.recorder is not None:
             record = self.recorder.result()
         else:
@@ -665,6 +691,7 @@ class Experiment:
             events_dispatched=self.sim.events_dispatched,
             trace=self.trace,
             oracle_report=self.oracle.report() if self.oracle is not None else None,
+            spans=self.tracer.table if self.tracer is not None else None,
         )
 
 

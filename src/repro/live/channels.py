@@ -27,8 +27,10 @@ import numpy as np
 
 __all__ = ["ChannelError", "LiveChannel", "LoopbackChannel", "UdpChannel"]
 
-#: Delivery callback the runtime hands to channels: ``(src, dst, payload)``.
-Deliver = Callable[[int, int, Any], None]
+#: Delivery callback the runtime hands to channels:
+#: ``(src, dst, payload, ctx)`` where ``ctx`` is the trace context the
+#: sender attached (``None`` when tracing is off or the peer is untraced).
+Deliver = Callable[[int, int, Any, "tuple[int, int, int] | None"], None]
 
 
 class ChannelError(RuntimeError):
@@ -42,8 +44,14 @@ class LiveChannel:
         """Bind the delivery callback and allocate transport resources."""
         raise NotImplementedError
 
-    def send(self, src: int, dst: int, payload: Any) -> None:
-        """Transmit ``payload``; must return without blocking."""
+    def send(
+        self,
+        src: int,
+        dst: int,
+        payload: Any,
+        ctx: tuple[int, int, int] | None = None,
+    ) -> None:
+        """Transmit ``payload`` (and trace context); must not block."""
         raise NotImplementedError
 
     async def aclose(self) -> None:
@@ -77,12 +85,18 @@ class LoopbackChannel(LiveChannel):
         self._deliver = deliver
         self._loop = asyncio.get_running_loop()
 
-    def send(self, src: int, dst: int, payload: Any) -> None:
+    def send(
+        self,
+        src: int,
+        dst: int,
+        payload: Any,
+        ctx: tuple[int, int, int] | None = None,
+    ) -> None:
         deliver = self._deliver
         if deliver is None:
             raise ChannelError("channel not opened")
         if self.jitter == 0.0:
-            deliver(src, dst, payload)
+            deliver(src, dst, payload, ctx)
             return
         assert self._loop is not None
         delay = float(self._rng.uniform(0.0, self.jitter))
@@ -91,7 +105,7 @@ class LoopbackChannel(LiveChannel):
         def fire() -> None:
             if handle is not None:
                 self._pending.discard(handle)
-            deliver(src, dst, payload)
+            deliver(src, dst, payload, ctx)
 
         handle = self._loop.call_later(delay, fire)
         self._pending.add(handle)
@@ -165,19 +179,28 @@ class UdpChannel(LiveChannel):
             src = int(frame["src"])
             dst = int(frame["dst"])
             payload = tuple(float(x) for x in frame["p"])
-        except (ValueError, KeyError, UnicodeDecodeError):  # pragma: no cover
+            tc = frame.get("tc")
+            ctx = (int(tc[0]), int(tc[1]), int(tc[2])) if tc is not None else None
+        except (ValueError, KeyError, IndexError, TypeError, UnicodeDecodeError):  # pragma: no cover
             self.errors += 1
             return
-        deliver(src, dst, payload)
+        deliver(src, dst, payload, ctx)
 
-    def send(self, src: int, dst: int, payload: Any) -> None:
+    def send(
+        self,
+        src: int,
+        dst: int,
+        payload: Any,
+        ctx: tuple[int, int, int] | None = None,
+    ) -> None:
         transport = self._transports.get(src)
         addr = self._addrs.get(dst)
         if transport is None or addr is None:
             raise ChannelError(f"unknown endpoint for send {src} -> {dst}")
-        frame = json.dumps(
-            {"src": src, "dst": dst, "p": list(payload)}
-        ).encode("utf-8")
+        doc: dict[str, Any] = {"src": src, "dst": dst, "p": list(payload)}
+        if ctx is not None:
+            doc["tc"] = list(ctx)
+        frame = json.dumps(doc).encode("utf-8")
         transport.sendto(frame, addr)
 
     async def aclose(self) -> None:

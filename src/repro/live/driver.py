@@ -41,6 +41,7 @@ from ..core.protocol import ProtocolCore
 from ..network.churn import ScriptedChurn
 from ..oracle.oracle import StreamingOracle
 from ..sim.rng import RngFactory
+from ..tracing.context import active_tracer
 from .channels import LiveChannel, LoopbackChannel, UdpChannel
 from .clocks import build_live_clocks
 from .runtime import ChurnEvent, LiveRunResult, LiveRuntime
@@ -155,6 +156,9 @@ def _to_run_result(cfg: ExperimentConfig, live: LiveRunResult) -> RunResult:
         times=np.empty(0),
         clocks=np.empty((0, len(node_ids))),
     )
+    # Causal tracing is ambient (same slot the runtime read at startup),
+    # so a traced live session surfaces its span table here too.
+    tracer = active_tracer()
     return RunResult(
         config=cfg,
         record=record,
@@ -164,6 +168,7 @@ def _to_run_result(cfg: ExperimentConfig, live: LiveRunResult) -> RunResult:
         events_dispatched=live.events_handled,
         trace=None,
         oracle_report=live.oracle_report,
+        spans=tracer.table if tracer is not None else None,
     )
 
 

@@ -64,6 +64,7 @@ from ..network.graph import DynamicGraph
 from ..oracle.oracle import OracleReport, StreamingOracle
 from ..params import SystemParams
 from ..telemetry.registry import Gauge, Histogram, MetricsRegistry, active_registry
+from ..tracing.context import Tracer, active_tracer
 from .channels import LiveChannel
 from .clocks import LiveClock
 
@@ -154,6 +155,18 @@ class _LiveNode:
 
     def dispatch(self, t: float, event: Event) -> None:
         """Feed one event to the core at session time ``t``; apply effects."""
+        tracer = self.runtime._tracer
+        if tracer is not None:
+            # Enter the event's causal scope: a delivered message closes
+            # its flight span (mapped at enqueue time), a timer firing
+            # opens a timer span; effects below parent onto it.
+            sid = self.runtime._event_spans.pop(id(event), -1)
+            if sid >= 0:
+                if type(event) is MessageReceived:
+                    tracer.flight_deliver(sid, t)
+                tracer.current = sid
+            elif type(event) is TimerFired:
+                tracer.timer_fired(self.node_id, t)
         now_h = self.clock.h_at(t)
         effects = self.core.handle(now_h, event)
         self.events_handled += 1
@@ -175,8 +188,17 @@ class _LiveNode:
                 self.timers.pop(eff.key, None)
             elif kind is JumpL:
                 assert isinstance(eff, JumpL)
+                if tracer is not None:
+                    core = self.core
+                    tracer.jump(
+                        self.node_id,
+                        t,
+                        eff.new_value - core.logical_clock_at(core.h_last),
+                    )
                 self.core.apply_jump(eff.new_value)
             # RaiseLmax is informational: already applied by the core.
+        if tracer is not None:
+            tracer.reset_current()
 
     def _fire_due_timers(self, t: float) -> bool:
         """Dispatch every timer due at ``t``; returns whether any fired."""
@@ -361,6 +383,11 @@ class LiveRuntime:
         #: paths pay one ``is not None`` check each while telemetry is off.
         self._tele_timer_lag: Histogram | None = None
         self._tele_heartbeat: Gauge | None = None
+        #: Span tracer, picked up from the ambient slot in :meth:`run_async`.
+        self._tracer: Tracer | None = None
+        #: ``id(queued event) -> span id`` for events whose span was opened
+        #: at enqueue time (flights, discoveries); popped at dispatch.
+        self._event_spans: dict[int, int] = {}
 
     # ------------------------------------------------------------------ #
     # Telemetry
@@ -432,24 +459,60 @@ class LiveRuntime:
     def _transmit(self, src: int, dst: int, payload: Any) -> None:
         """Apply one Send effect: edge check, then hand to the channel."""
         self.stats["sent"] += 1
+        tracer = self._tracer
         if not self.graph.has_edge(src, dst):
             # The MAC-ack abstraction: a failed send surfaces to the
             # sender as (prompt) discovery that the edge is gone.
             self.stats["dropped_no_edge"] += 1
+            if tracer is not None:
+                tracer.flight_fail(
+                    src, dst, self.now() if self._epoch_set else 0.0
+                )
             self._discover(src, DiscoverRemove(dst))
             return
-        self.channel.send(src, dst, payload)
+        if tracer is not None:
+            t = self.now() if self._epoch_set else 0.0
+            sid = tracer.flight_send(src, dst, t, t)
+            self.channel.send(src, dst, payload, (sid, src, tracer.current))
+        else:
+            self.channel.send(src, dst, payload)
 
-    def _deliver(self, src: int, dst: int, payload: Any) -> None:
+    def _deliver(
+        self,
+        src: int,
+        dst: int,
+        payload: Any,
+        ctx: tuple[int, int, int] | None = None,
+    ) -> None:
         """Channel callback: enqueue a received message for dispatch."""
+        tracer = self._tracer
         if not self.graph.has_edge(src, dst):
             self.stats["dropped_removed"] += 1
+            if tracer is not None and ctx is not None:
+                tracer.flight_drop(
+                    ctx[0], self.now() if self._epoch_set else 0.0
+                )
             return
         self.stats["delivered"] += 1
-        self.nodes[dst].inbox.put_nowait(MessageReceived(src, payload))
+        event = MessageReceived(src, payload)
+        if tracer is not None and ctx is not None:
+            # The flight closes at dispatch time (when the receiving core
+            # actually processes it), so map the queued event to its span.
+            self._event_spans[id(event)] = ctx[0]
+        self.nodes[dst].inbox.put_nowait(event)
 
     def _discover(self, node_id: int, event: DiscoverAdd | DiscoverRemove) -> None:
         self.stats["discoveries_delivered"] += 1
+        tracer = self._tracer
+        if tracer is not None:
+            sid = tracer.discover_queued(
+                node_id,
+                event.other,
+                self.now() if self._epoch_set else 0.0,
+                isinstance(event, DiscoverAdd),
+            )
+            if sid >= 0:
+                self._event_spans[id(event)] = sid
         self.nodes[node_id].inbox.put_nowait(event)
 
     # ------------------------------------------------------------------ #
@@ -471,6 +534,8 @@ class LiveRuntime:
                     self.stats["discoveries_skipped"] += 1
                     continue
                 self.graph.add_edge(u, v, t)
+                if self._tracer is not None:
+                    self._tracer.edge_flip(t, u, v, True)
                 self._discover(u, DiscoverAdd(v))
                 self._discover(v, DiscoverAdd(u))
             else:
@@ -478,6 +543,8 @@ class LiveRuntime:
                     self.stats["discoveries_skipped"] += 1
                     continue
                 self.graph.remove_edge(u, v, t)
+                if self._tracer is not None:
+                    self._tracer.edge_flip(t, u, v, False)
                 self._discover(u, DiscoverRemove(v))
                 self._discover(v, DiscoverRemove(u))
 
@@ -503,10 +570,15 @@ class LiveRuntime:
     async def run_async(self) -> LiveRunResult:
         """Run the session on the current event loop."""
         telemetry = active_registry()
+        self._tracer = active_tracer()
         if telemetry is not None:
             self.instrument(telemetry)
             if self.oracle is not None:
                 self.oracle.instrument(telemetry)
+            if self._tracer is not None:
+                self._tracer.instrument(telemetry)
+        if self._tracer is not None and self.oracle is not None:
+            self.oracle.attach_tracer(self._tracer)
         await self.channel.open(self._deliver, sorted(self.nodes))
         oracle = self.oracle
         if oracle is not None:

@@ -44,12 +44,19 @@ from typing import TYPE_CHECKING, Any, Protocol
 from ..sim.events import KIND_DELIVER, KIND_DISCOVER, PRIORITY_DELIVERY, ScheduledEvent
 from ..sim.simulator import Simulator
 from ..sim.tracing import NULL_TRACE, TraceRecorder
+from ..tracing.spans import (
+    SPAN_FLIGHT,
+    STATUS_DONE,
+    STATUS_DROPPED,
+    STATUS_PENDING,
+)
 from .channels import DelayPolicy
 from .discovery import DiscoveryPolicy
 from .graph import DynamicGraph
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checking
     from ..telemetry.registry import MetricsRegistry
+    from ..tracing.context import Tracer
 
 __all__ = ["Transport", "NodeInterface", "TransportStats"]
 
@@ -127,6 +134,10 @@ class Transport:
         #: Hot-path trace target (``None`` when tracing is disabled, so the
         #: per-message fast path skips even the no-op record calls).
         self._trace = self.trace if self.trace.enabled else None
+        #: Span tracer (``None`` when causal tracing is off); the transport
+        #: is FIFO per directed link, so the tracer correlates send/deliver
+        #: by order without touching payloads.
+        self._tracer: "Tracer | None" = None
         self.stats = TransportStats()
         #: Graph mutations observed (both directions of churn); kept off
         #: :class:`TransportStats` so sim/live stats dicts stay congruent.
@@ -143,6 +154,14 @@ class Transport:
         sim.set_handler(KIND_DELIVER, self._handle_deliver)
         sim.set_handler(KIND_DISCOVER, self._handle_discover)
         graph.subscribe(self._on_graph_event)
+
+    def attach_tracer(self, tracer: "Tracer") -> None:
+        """Record message flights / topology spans into ``tracer``.
+
+        Must be attached before nodes start sending: the tracer's FIFO
+        flight correlation assumes it sees every send on a link.
+        """
+        self._tracer = tracer
 
     def instrument(self, registry: "MetricsRegistry") -> None:
         """Register transport metrics as polled readbacks on ``registry``.
@@ -211,6 +230,8 @@ class Transport:
             self.stats.dropped_no_edge += 1
             if trace is not None:
                 trace.record(now, "send_fail", u, v)
+            if self._tracer is not None:
+                self._tracer.flight_fail(u, v, now)
             self._schedule_absence_discovery(u, v, send_time=now)
             return
         delay = self.delay_policy.delay(u, v, now)
@@ -227,23 +248,54 @@ class Transport:
         fifo[link] = t_deliver
         if trace is not None:
             trace.record(now, "send", u, v, t_deliver)
+        # Open a flight span inline (this is the hottest tracer site; see
+        # Tracer's class docstring) and carry its id on the delivery
+        # record's observer slot ``e`` -- physics never reads it.  The
+        # span is written *optimistically closed*: the FIFO clamp fixed
+        # ``t_deliver`` for good, so for the common case (delivered) no
+        # further write is needed.  The rare other outcomes are patched
+        # after the fact -- drops in :meth:`_deliver`, still-in-flight
+        # spans by :meth:`finalize_tracing` at end of run.
+        tracer = self._tracer
+        sid = -1
+        if tracer is not None:
+            tdata = tracer.data
+            sid = len(tdata) >> 3
+            if sid < tracer.capacity:
+                tdata.extend(
+                    (SPAN_FLIGHT, u, v, now, t_deliver, tracer.current,
+                     STATUS_DONE, 0.0)
+                )
+            else:
+                tracer.table.dropped += 1
+                sid = -1
         self._push(
             t_deliver, PRIORITY_DELIVERY, KIND_DELIVER, u, v, payload, now,
-            None, "deliver",
+            None, "deliver", e=sid,
         )
 
     def _handle_deliver(self, ev: ScheduledEvent) -> None:
         """Kernel handler for ``KIND_DELIVER`` records (one call per message)."""
-        self._deliver(ev.a, ev.b, ev.c, ev.d)
+        self._deliver(ev.a, ev.b, ev.c, ev.d, ev.e)
 
-    def _deliver(self, u: int, v: int, payload: Any, send_time: float) -> None:
+    def _deliver(
+        self, u: int, v: int, payload: Any, send_time: float,
+        sid: int | None = -1,
+    ) -> None:
         now = self.sim.now
+        if sid is None:
+            sid = -1  # record pushed before a tracer was attached
         if not self._has_edge(u, v) or self._removed_during(u, v, send_time, now):
             # The edge failed while the message was in flight: drop, and make
             # sure the sender learns within discovery_bound of the send.
             self.stats.dropped_removed += 1
             if self._trace is not None:
                 self._trace.record(now, "drop_removed", u, v)
+            if self._tracer is not None and sid >= 0:
+                base = sid << 3
+                tdata = self._tracer.data
+                tdata[base + 4] = now
+                tdata[base + 6] = STATUS_DROPPED
             self._schedule_absence_discovery(u, v, send_time=send_time)
             return
         self.stats.delivered += 1
@@ -251,7 +303,34 @@ class Transport:
             self._trace.record(now, "recv", v, u)
         node = self._node_seq[v]
         assert node is not None
-        node.on_message(u, payload)
+        tracer = self._tracer
+        if tracer is not None:
+            # The span was closed optimistically at send time (its t1 is
+            # exact); delivery only enters/leaves the causal scope.
+            tracer.current = sid
+            node.on_message(u, payload)
+            tracer.current = -1
+        else:
+            node.on_message(u, payload)
+
+    def finalize_tracing(self) -> None:
+        """Re-mark spans of still-queued deliveries as in flight.
+
+        Flight spans are recorded optimistically ``STATUS_DONE`` at send
+        time (see :meth:`send`); messages the horizon caught mid-flight
+        never delivered, so walk the remaining event queue -- O(pending),
+        a few hundred records -- and patch those spans back to
+        ``STATUS_PENDING``.  The harness calls this once after the run.
+        """
+        tracer = self._tracer
+        if tracer is None:
+            return
+        data = tracer.data
+        for ev in self.sim.queue.live_events():
+            if ev.kind == KIND_DELIVER:
+                sid = ev.e
+                if sid is not None and sid >= 0:
+                    data[(sid << 3) + 6] = STATUS_PENDING
 
     # ------------------------------------------------------------------ #
     # Discovery
@@ -261,6 +340,8 @@ class Transport:
         self.edge_flips += 1
         if self._trace is not None:
             self._trace.record(time, "edge_add" if added else "edge_remove", u, v)
+        if self._tracer is not None:
+            self._tracer.edge_flip(time, u, v, added)
         self._schedule_discovery(u, v, added=added, change_time=time)
         self._schedule_discovery(v, u, added=added, change_time=time)
 
@@ -314,9 +395,14 @@ class Transport:
                 self._trace.record(self.sim.now, kind, node_id, other)
             node = self._node_seq[node_id]
             assert node is not None
+            tracer = self._tracer
+            if tracer is not None:
+                tracer.discover(node_id, other, self.sim.now, added)
             if added:
                 node.on_discover_add(other)
             else:
                 node.on_discover_remove(other)
+            if tracer is not None:
+                tracer.reset_current()
         else:
             self.stats.discoveries_skipped += 1

@@ -65,6 +65,9 @@ class Violation:
     observed: float
     margin: float
     detail: str = ""
+    #: Span id of this violation's anchor in the run's causal trace
+    #: (``None`` when tracing was off); forensics walks back from it.
+    anchor_span: int | None = None
 
     def describe(self) -> str:
         """One-line human-readable form."""
@@ -85,6 +88,7 @@ class Violation:
             "observed": self.observed,
             "margin": self.margin,
             "detail": self.detail,
+            "anchor_span": self.anchor_span,
         }
 
 

@@ -21,7 +21,7 @@ or standalone on any simulator/graph/node wiring via :meth:`install`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Any, Iterable, Mapping
 
 import numpy as np
@@ -33,6 +33,7 @@ from .monitors import MONITOR_FACTORIES, Monitor, MonitorSummary, Violation
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checking
     from ..telemetry.registry import MetricsRegistry
+    from ..tracing.context import Tracer
 
 __all__ = ["OracleError", "OracleReport", "StreamingOracle"]
 
@@ -174,6 +175,10 @@ class StreamingOracle:
         # attach time so each sample skips the dict lookups.
         self._clock_readers: list[Any] = []
         self._estimate_readers: list[Any] = []
+        # Span tracer + per-monitor violation counts already anchored
+        # (``None`` / unused when causal tracing is off).
+        self._tracer: "Tracer | None" = None
+        self._anchored: list[int] | None = None
 
     @staticmethod
     def _resolve(m: str | Monitor) -> Monitor:
@@ -288,6 +293,31 @@ class StreamingOracle:
                 f"oracle.worst_margin.{monitor.name}", _margin_reader(monitor)
             )
 
+    def attach_tracer(self, tracer: "Tracer") -> None:
+        """Anchor future violations in ``tracer``'s span table.
+
+        Each newly recorded :class:`Violation` gets a violation span and
+        its ``anchor_span`` id filled in -- the entry point forensics
+        walks back from.
+        """
+        self._tracer = tracer
+        self._anchored = [len(m.violations) for m in self.monitors]
+
+    def _anchor_new_violations(self, t: float) -> None:
+        """Stamp spans onto violations recorded since the last sample."""
+        tracer = self._tracer
+        anchored = self._anchored
+        assert tracer is not None and anchored is not None
+        for idx, monitor in enumerate(self.monitors):
+            recorded = monitor.violations
+            while anchored[idx] < len(recorded):
+                i = anchored[idx]
+                v = recorded[i]
+                node = v.nodes[0] if v.nodes else -1
+                sid = tracer.violation(t, node)
+                recorded[i] = replace(v, anchor_span=sid)
+                anchored[idx] = i + 1
+
     def edge_event(self, time: float, u: int, v: int, added: bool) -> None:
         """Feed one topology mutation to the edge-tracking monitors."""
         for monitor in self._edge_monitors:
@@ -310,6 +340,8 @@ class StreamingOracle:
         for monitor in self.monitors:
             monitor.on_sample(t, clocks, estimates)
         self.samples_seen += 1
+        if self._tracer is not None:
+            self._anchor_new_violations(t)
 
     # ------------------------------------------------------------------ #
     # Verdict

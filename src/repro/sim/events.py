@@ -104,6 +104,11 @@ class ScheduledEvent:
         callback ``fn(now)`` for ``KIND_SAMPLE``; ``None`` otherwise.
     a, b, c, d:
         Kind-specific payload slots (see the ``KIND_*`` docs above).
+    e:
+        Observer side-channel slot (``None`` when unused).  ``KIND_DELIVER``
+        records carry the open flight's trace span id here when causal
+        tracing is active; physics never reads it, which is what keeps the
+        tracer's presence invisible to execution order and RNG draws.
     cancelled:
         Set by :meth:`EventQueue.cancel`; cancelled events are skipped.
     queued:
@@ -122,6 +127,7 @@ class ScheduledEvent:
         "b",
         "c",
         "d",
+        "e",
         "cancelled",
         "queued",
         "label",
@@ -140,6 +146,7 @@ class ScheduledEvent:
         b: Any = None,
         c: Any = None,
         d: Any = None,
+        e: Any = None,
     ) -> None:
         self.time = time
         self.priority = priority
@@ -150,6 +157,7 @@ class ScheduledEvent:
         self.b = b
         self.c = c
         self.d = d
+        self.e = e
         self.cancelled = False
         self.queued = False
         self.label = label

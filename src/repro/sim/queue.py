@@ -29,7 +29,7 @@ only at that point, when no live reference can remain.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable
+from typing import Any, Callable, Iterator
 
 from .events import KIND_CALLBACK, POOLABLE, ScheduledEvent
 
@@ -102,6 +102,7 @@ class EventQueue:
         d: Any = None,
         fn: Callable[..., Any] | None = None,
         label: str = "",
+        e: Any = None,
     ) -> ScheduledEvent:
         """Schedule a typed event record at ``time``; returns a handle.
 
@@ -122,12 +123,13 @@ class EventQueue:
             ev.b = b
             ev.c = c
             ev.d = d
+            ev.e = e
             ev.cancelled = False
             ev.label = label
         else:
             self.allocations += 1
             ev = ScheduledEvent(
-                time, priority, seq, fn, label, kind=kind, a=a, b=b, c=c, d=d
+                time, priority, seq, fn, label, kind=kind, a=a, b=b, c=c, d=d, e=e
             )
         ev.queued = True
         heapq.heappush(self._heap, (time, priority, seq, ev))
@@ -208,7 +210,7 @@ class EventQueue:
                 heapq.heappop(heap)
                 ev.queued = False
                 if poolable[ev.kind] and len(free) < _POOL_CAP:
-                    ev.fn = ev.a = ev.b = ev.c = ev.d = None
+                    ev.fn = ev.a = ev.b = ev.c = ev.d = ev.e = None
                     free.append(ev)
                 continue
             if entry[0] > t_end:
@@ -228,8 +230,19 @@ class EventQueue:
         if ev.queued or not POOLABLE[ev.kind]:
             return
         if len(self._free) < _POOL_CAP:
-            ev.fn = ev.a = ev.b = ev.c = ev.d = None
+            ev.fn = ev.a = ev.b = ev.c = ev.d = ev.e = None
             self._free.append(ev)
+
+    def live_events(self) -> "Iterator[ScheduledEvent]":
+        """Iterate the still-queued, non-cancelled records (heap order).
+
+        Post-run introspection only (e.g. the transport re-marking
+        still-in-flight trace spans); never used on the hot path.
+        """
+        for entry in self._heap:
+            ev = entry[3]
+            if not ev.cancelled:
+                yield ev
 
     def clear(self) -> None:
         """Drop every pending event (records are not recycled)."""

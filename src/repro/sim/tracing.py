@@ -24,9 +24,12 @@ from typing import Any, Iterable, Iterator
 __all__ = ["TraceRecord", "TraceRecorder", "NULL_TRACE"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, order=True)
 class TraceRecord:
     """One traced occurrence.
+
+    Records order by field position (``time`` first), so sorting a mixed
+    batch yields chronological order with kind/subject as tie-breakers.
 
     Attributes
     ----------
@@ -106,13 +109,30 @@ class TraceRecorder:
         """All retained records, oldest first (a fresh list)."""
         return list(self._records)
 
-    def filter(self, kind: str | None = None, subject: Any = None) -> list[TraceRecord]:
-        """Return records matching the given kind and/or subject."""
+    def filter(
+        self,
+        kind: str | None = None,
+        subject: Any = None,
+        start: float | None = None,
+        end: float | None = None,
+    ) -> list[TraceRecord]:
+        """Return records matching the given kind, subject and time window.
+
+        ``start``/``end`` bound ``record.time`` inclusively on both sides,
+        so adjacent windows ``[a, b]`` and ``[b, c]`` both see a record at
+        exactly ``b`` -- forensics windows are closed intervals.  On a
+        capped recorder only *retained* records are searched; evicted
+        history is gone regardless of the window.
+        """
         out: list[TraceRecord] = []
         for r in self._records:
             if kind is not None and r.kind != kind:
                 continue
             if subject is not None and r.subject != subject:
+                continue
+            if start is not None and r.time < start:
+                continue
+            if end is not None and r.time > end:
                 continue
             out.append(r)
         return out

@@ -18,6 +18,7 @@ what makes serial/parallel parity checkable.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
@@ -27,7 +28,7 @@ from ..adversary.connectivity import scan_interval_connectivity
 from ..analysis.metrics import envelope_violations, stable_local_skew_measured
 from ..core import skew_bounds
 from ..harness.runner import ExperimentConfig, RunResult, run_experiment
-from ..telemetry.registry import Counter, Gauge, active_registry
+from ..telemetry.registry import Counter, Gauge, active_registry, get_registry
 from .spec import SweepSpec
 from .store import ResultStore, config_hash
 
@@ -113,16 +114,45 @@ def summarize_run(result: RunResult) -> dict[str, Any]:
     return metrics
 
 
-def _execute(config_dict: Mapping[str, Any]) -> dict[str, Any]:
+def _execute(
+    config_dict: Mapping[str, Any], metrics_path: str | None = None
+) -> dict[str, Any]:
     """Worker entry point: config dict in, ``{"metrics", "elapsed"}`` out.
 
     Module-level so it pickles for the process pool; the serial backend
-    calls the very same function.
+    calls the very same function.  ``metrics_path`` (the ``--metrics-dir``
+    feature) enables the process-wide telemetry registry around this one
+    run and writes its end-of-run snapshot as a single flight-recorder
+    frame -- only *executed* points ever reach this function, so cached
+    points leave no metrics file behind.
     """
     cfg = ExperimentConfig.from_dict(config_dict)
-    t0 = time.perf_counter()
-    result = run_experiment(cfg)
-    elapsed = time.perf_counter() - t0
+    if metrics_path is None:
+        t0 = time.perf_counter()
+        result = run_experiment(cfg)
+        elapsed = time.perf_counter() - t0
+        return {"metrics": summarize_run(result), "elapsed": elapsed}
+    from ..telemetry.flight import FlightRecorder, build_frame
+
+    registry = get_registry()
+    # Only take over the process registry if nobody else (a serial sweep
+    # under an active sampler, say) is already using it; when borrowed,
+    # the frame simply includes the ambient counters too.
+    owned = not registry.enabled
+    if owned:
+        registry.reset()
+        registry.enable()
+    try:
+        t0 = time.perf_counter()
+        result = run_experiment(cfg)
+        elapsed = time.perf_counter() - t0
+        source = config_dict.get("name") or config_dict.get("algorithm") or "sweep"
+        with FlightRecorder(metrics_path) as sink:
+            sink(build_frame(registry, seq=0, t_wall=elapsed, source=str(source)))
+    finally:
+        if owned:
+            registry.disable()
+            registry.reset()
     return {"metrics": summarize_run(result), "elapsed": elapsed}
 
 
@@ -208,6 +238,11 @@ class SweepEngine:
     progress:
         Optional ``(done, total, row)`` callback, invoked once per point as
         it resolves (cache hits first, then executions as they finish).
+    metrics_dir:
+        Optional directory for per-point flight-recorder frames: every
+        *executed* (non-cached) point writes one JSONL file named by its
+        config-hash prefix, renderable with ``repro top``.  Cache hits and
+        within-sweep duplicates write nothing.
     """
 
     def __init__(
@@ -216,12 +251,14 @@ class SweepEngine:
         processes: int | None = None,
         store: ResultStore | None = None,
         progress: ProgressFn | None = None,
+        metrics_dir: str | None = None,
     ) -> None:
         if processes is not None and processes < 0:
             raise ValueError(f"processes must be >= 0; got {processes}")
         self.processes = processes
         self.store = store
         self.progress = progress
+        self.metrics_dir = metrics_dir
         # Telemetry instruments (wired per run() when telemetry is on).
         self._tele_cache_hits: Counter | None = None
         self._tele_dedup_hits: Counter | None = None
@@ -294,6 +331,8 @@ class SweepEngine:
 
         # Execution pass.
         if pending:
+            if self.metrics_dir is not None:
+                os.makedirs(self.metrics_dir, exist_ok=True)
             order = sorted(pending.values(), key=lambda idxs: idxs[0])
             if self.processes is not None and self.processes > 1:
                 self._run_pool(order, config_dicts, keys, resolve)
@@ -334,9 +373,17 @@ class SweepEngine:
             resolve(i, dict(outcome["metrics"]), cached=i != first,
                     elapsed=outcome["elapsed"] if i == first else None)
 
+    def _metrics_path(self, key: str) -> str | None:
+        """Frame file for one executed point (hash-prefix name), or None."""
+        if self.metrics_dir is None:
+            return None
+        return os.path.join(self.metrics_dir, key[:16] + ".jsonl")
+
     def _run_serial(self, order, config_dicts, keys, resolve) -> None:
         for idxs in order:
-            outcome = self._execute_checked(config_dicts[idxs[0]])
+            outcome = self._execute_checked(
+                config_dicts[idxs[0]], self._metrics_path(keys[idxs[0]])
+            )
             self._finish(idxs, outcome, config_dicts, keys, resolve)
 
     def _run_pool(self, order, config_dicts, keys, resolve) -> None:
@@ -344,7 +391,12 @@ class SweepEngine:
             max_workers=self.processes, mp_context=_pool_context()
         ) as pool:
             futures = {
-                pool.submit(_execute, config_dicts[idxs[0]]): idxs for idxs in order
+                pool.submit(
+                    _execute,
+                    config_dicts[idxs[0]],
+                    self._metrics_path(keys[idxs[0]]),
+                ): idxs
+                for idxs in order
             }
             remaining = set(futures)
             while remaining:
@@ -361,9 +413,11 @@ class SweepEngine:
                     self._finish(idxs, outcome, config_dicts, keys, resolve)
 
     @staticmethod
-    def _execute_checked(config_dict: dict[str, Any]) -> dict[str, Any]:
+    def _execute_checked(
+        config_dict: dict[str, Any], metrics_path: str | None = None
+    ) -> dict[str, Any]:
         try:
-            return _execute(config_dict)
+            return _execute(config_dict, metrics_path)
         except Exception as exc:
             name = config_dict.get("name") or "<unnamed>"
             raise RuntimeError(f"sweep point {name!r} failed: {exc}") from exc

@@ -14,6 +14,7 @@ the stream's first frame in one-shot/stats mode (whole-run average).
 from __future__ import annotations
 
 import json
+import os
 from typing import Any, Iterator, TextIO
 
 from ..analysis.report import TextTable
@@ -54,11 +55,18 @@ def follow_frames(fh: TextIO, *, validate: bool = True) -> Iterator[dict[str, An
 
     A trailing partial line (a frame mid-write) stays buffered in the file
     position for the next call, so tailing a live file never tears frames.
+    If the file shrank below our position (truncate-in-place rotation, as
+    done by log rotators and by a writer reopening with ``"w"``), the tail
+    restarts from offset 0 instead of silently waiting forever.
     """
     while True:
         pos = fh.tell()
         line = fh.readline()
         if not line:
+            size = os.fstat(fh.fileno()).st_size
+            if pos > size:
+                fh.seek(0)
+                continue
             return
         if not line.endswith("\n"):
             # Mid-write tail: rewind and wait for the writer to finish.

@@ -1,0 +1,118 @@
+"""Tests for ``scripts/bench_compare.py`` (benchmark artifact diffing)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).resolve().parent.parent / "scripts" / "bench_compare.py"
+_spec = importlib.util.spec_from_file_location("bench_compare", _SCRIPT)
+assert _spec is not None and _spec.loader is not None
+bench_compare = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_compare)
+
+
+def _artifact(**over) -> dict:
+    base = {
+        "bench": "trace_overhead",
+        "version": "1.0.0",
+        "ok": True,
+        "overhead": 0.05,
+        "traced_seconds": 1.0,
+        "events_per_sec": 100_000,
+        "spans": 1000,
+    }
+    base.update(over)
+    return base
+
+
+def _write(tmp_path, name, doc) -> str:
+    path = tmp_path / name
+    path.write_text(json.dumps(doc), encoding="utf-8")
+    return str(path)
+
+
+class TestDirection:
+    @pytest.mark.parametrize(
+        "path,sense",
+        [
+            ("traced_seconds", -1),
+            ("overhead", -1),
+            ("spans_dropped", -1),
+            ("spans_lost", -1),
+            ("events_per_sec", 1),
+            ("points[0].events_per_sec", 1),
+            ("spans", 0),
+            ("n", 0),
+        ],
+    )
+    def test_metric_name_maps_to_direction(self, path, sense):
+        assert bench_compare.direction(path) == sense
+
+    def test_flatten_recurses_dicts_and_lists(self):
+        doc = {"a": {"b": 1}, "pts": [{"x": 2.0}, {"x": 3.0}]}
+        flat = dict(bench_compare.flatten(doc))
+        assert flat == {"a.b": 1, "pts[0].x": 2.0, "pts[1].x": 3.0}
+
+
+class TestCompare:
+    def test_identical_artifacts_pass(self):
+        report = bench_compare.compare(_artifact(), _artifact(), 0.10)
+        assert report["ok"] and report["regressions"] == []
+        assert report["median_directional_delta"] == 0.0
+
+    def test_directional_regression_beyond_threshold_fails(self):
+        report = bench_compare.compare(
+            _artifact(), _artifact(traced_seconds=1.25), 0.10
+        )
+        assert not report["ok"]
+        assert report["regressions"] == ["traced_seconds"]
+
+    def test_improvement_and_informational_drift_pass(self):
+        new = _artifact(traced_seconds=0.5, events_per_sec=200_000, spans=5000)
+        report = bench_compare.compare(_artifact(), new, 0.10)
+        assert report["ok"]
+        assert {r["metric"] for r in report["changes"]} == {
+            "traced_seconds", "events_per_sec", "spans",
+        }
+
+    def test_bool_true_to_false_is_a_regression(self):
+        report = bench_compare.compare(_artifact(), _artifact(ok=False), 0.10)
+        assert report["regressions"] == ["ok"]
+        report = bench_compare.compare(_artifact(ok=False), _artifact(), 0.10)
+        assert report["ok"]
+
+
+class TestCli:
+    def test_exit_codes(self, tmp_path, capsys):
+        old = _write(tmp_path, "old.json", _artifact())
+        same = _write(tmp_path, "same.json", _artifact())
+        worse = _write(tmp_path, "worse.json", _artifact(overhead=0.2))
+        other = _write(tmp_path, "other.json", _artifact(bench="live_overhead"))
+        bumped = _write(tmp_path, "bumped.json", _artifact(version="2.0.0"))
+
+        assert bench_compare.main([old, same]) == 0
+        assert "no regressions" in capsys.readouterr().out
+        assert bench_compare.main([old, worse]) == 1
+        assert "REGRESSED: overhead" in capsys.readouterr().out
+        assert bench_compare.main([old, other]) == 2
+        assert bench_compare.main([old, bumped]) == 2
+        assert "--allow-version-mismatch" in capsys.readouterr().err
+        assert bench_compare.main([old, bumped, "--allow-version-mismatch"]) == 0
+
+    def test_json_output_round_trips(self, tmp_path, capsys):
+        old = _write(tmp_path, "old.json", _artifact())
+        worse = _write(tmp_path, "worse.json", _artifact(traced_seconds=2.0))
+        assert bench_compare.main([old, worse, "--json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["bench"] == "trace_overhead"
+        assert report["regressions"] == ["traced_seconds"]
+
+    def test_unreadable_artifact_exits_2(self, tmp_path):
+        missing = str(tmp_path / "nope.json")
+        ok = _write(tmp_path, "ok.json", _artifact())
+        with pytest.raises(SystemExit):
+            bench_compare.main([missing, ok])

@@ -125,6 +125,41 @@ class TestEngineBehaviour:
             SweepEngine(processes=-1)
 
 
+class TestMetricsDir:
+    def test_executed_points_write_one_frame_each(self, tmp_path):
+        from repro.telemetry import read_frames
+
+        spec = SweepSpec("static_ring", base={"n": 5, "horizon": 15.0}, axes=[seeds(2)])
+        mdir = tmp_path / "metrics"
+        store = ResultStore(tmp_path / "cache")
+        result = SweepEngine(store=store, metrics_dir=str(mdir)).run(spec)
+        files = sorted(p.name for p in mdir.glob("*.jsonl"))
+        # One flight-recorder file per executed point, named by key prefix.
+        assert files == sorted(r.key[:16] + ".jsonl" for r in result.rows)
+        for row in result.rows:
+            frames = read_frames(str(mdir / (row.key[:16] + ".jsonl")))
+            assert len(frames) == 1
+            assert frames[0]["source"].startswith("static_ring")
+            assert frames[0]["counters"]["kernel.events_dispatched"] > 0
+
+    def test_cached_points_write_nothing(self, tmp_path):
+        spec = SweepSpec("static_ring", base={"n": 5, "horizon": 15.0}, axes=[seeds(2)])
+        store = ResultStore(tmp_path / "cache")
+        SweepEngine(store=store).run(spec)  # warm the store, no metrics
+        mdir = tmp_path / "metrics"
+        rerun = SweepEngine(store=store, metrics_dir=str(mdir)).run(spec)
+        assert rerun.cached_count == 2 and rerun.executed_count == 0
+        # Fully-cached sweep: the directory is never even created.
+        assert not mdir.exists()
+
+    def test_parallel_backend_writes_metrics_too(self, tmp_path):
+        mdir = tmp_path / "metrics"
+        cfgs = [configs.static_ring(5, horizon=15.0, seed=s) for s in (1, 2, 3)]
+        result = SweepEngine(processes=2, metrics_dir=str(mdir)).run(cfgs)
+        assert result.executed_count == 3
+        assert len(list(mdir.glob("*.jsonl"))) == 3
+
+
 class TestAggregation:
     def test_tidy_rows_join_coords_and_metrics(self):
         spec = SweepSpec("static_ring", base={"n": 5, "horizon": 15.0}, axes=[seeds(2)])

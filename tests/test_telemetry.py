@@ -238,6 +238,42 @@ class TestFlightRecorder:
                 wfh.write(whole[len(whole) // 2 :] + "\n")
             assert len(list(follow_frames(fh))) == 1
 
+    def test_follow_frames_restarts_after_truncate_in_place(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        frame = _valid_frame()
+        frame["counters"] = {"kernel.events_dispatched": 11111111}
+        path.write_text(json.dumps(frame) + "\n" + json.dumps(frame) + "\n")
+        with open(path, "r", encoding="utf-8") as fh:
+            assert len(list(follow_frames(fh))) == 2
+            # Rotation: the writer truncates and starts a fresh (shorter)
+            # stream.  Our position is now beyond EOF; the tail must
+            # restart from offset 0 instead of waiting forever.
+            fresh = _valid_frame()
+            fresh["seq"] = 0
+            with open(path, "w", encoding="utf-8") as wfh:
+                wfh.write(json.dumps(fresh) + "\n")
+            got = list(follow_frames(fh))
+            assert [f["seq"] for f in got] == [0]
+
+    def test_follow_frames_truncation_with_buffered_partial_tail(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        big = _valid_frame()
+        big["source"] = "run:" + "pad" * 100  # longer than the fresh stream
+        whole = json.dumps(_valid_frame())
+        # A complete frame plus a torn tail the writer never finishes.
+        path.write_text(json.dumps(big) + "\n" + whole[: len(whole) // 2])
+        with open(path, "r", encoding="utf-8") as fh:
+            assert len(list(follow_frames(fh))) == 1  # tail stays buffered
+            with open(path, "w", encoding="utf-8") as wfh:
+                wfh.write(whole + "\n")
+            # File shrank below the buffered position mid-frame: restart.
+            got = list(follow_frames(fh))
+            assert [f["source"] for f in got] == ["run:test"]
+            # And the restarted position keeps tailing appends normally.
+            with open(path, "a", encoding="utf-8") as wfh:
+                wfh.write(whole + "\n")
+            assert len(list(follow_frames(fh))) == 1
+
 
 class TestSampler:
     def test_emits_first_and_last_frames(self, registry, tmp_path):
@@ -303,6 +339,52 @@ class TestRender:
         assert "event-pool hit rate: 90.00%" in out
         assert "delivery ratio: 80.00%" in out
         assert "oracle.worst_margin.skew" in out  # None gauge renders as "-"
+
+
+class TestTopCommand:
+    """`repro top` against a fixture metrics file (one-shot render)."""
+
+    @staticmethod
+    def _write_fixture(path):
+        first = _valid_frame()
+        first["seq"], first["t_wall"] = 0, 0.0
+        first["counters"] = {"kernel.events_dispatched": 10}
+        last = _valid_frame()
+        last["seq"], last["t_wall"] = 4, 2.0
+        last["counters"] = {
+            "kernel.events_dispatched": 1010,
+            "transport.sent": 200,
+            "transport.delivered": 150,
+        }
+        path.write_text(
+            json.dumps(first) + "\n" + json.dumps(last) + "\n",
+            encoding="utf-8",
+        )
+
+    def test_one_shot_renders_final_frame_with_rates(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "m.jsonl"
+        self._write_fixture(path)
+        assert main(["top", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "kernel.events_dispatched" in out
+        assert "1,010" in out  # final counter value, grouped
+        assert "events/sec: 500" in out  # (1010 - 10) / 2s
+        assert "delivery ratio: 75.00%" in out
+        assert "kernel.queue_depth" in out  # gauges table
+
+    def test_empty_and_invalid_files_fail_cleanly(self, tmp_path, capsys):
+        from repro.cli import main
+
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("", encoding="utf-8")
+        assert main(["top", str(empty)]) == 1
+        assert "no frames" in capsys.readouterr().err
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"not": "a frame"}\n', encoding="utf-8")
+        assert main(["top", str(bad)]) == 2
+        assert "error" in capsys.readouterr().err
 
 
 # --------------------------------------------------------------------- #
