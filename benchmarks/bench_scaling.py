@@ -1,30 +1,41 @@
-"""Experiment: typed-event kernel throughput versus network size.
+"""Experiment: kernel throughput versus network size, scalar vs batch.
 
 The typed-event kernel refactor (docs/performance.md) exists to make the
 large-``n`` / large-diameter regimes of the paper measurable: the bounds
 (global skew ``G(n) = Theta(n)``, stabilization after topology changes)
 only become interesting when thousands of hops exist to accumulate skew.
-This benchmark traces the events/second curve of the sim driver over ring
+This benchmark has two sections:
+
+**Flatness curve** — the events/second curve of the sim driver over ring
 sizes spanning two orders of magnitude, through the shared cached sweep
 store (``_common.sweep``): reruns replay the simulation *metrics* from
 cache, and the wall-clock rate is re-timed inline whenever the cached row
-defeats timing.
+defeats timing.  Expected shape: throughput roughly flat in ``n`` (the
+kernel's per-event cost is O(log queue) + O(degree), independent of
+``n``).  A collapse of the large-``n`` rate signals an accidental O(n)
+cost in the per-event path.
 
-Expected shape: throughput roughly flat in ``n`` (the kernel's per-event
-cost is O(log queue) + O(degree), independent of ``n``), in the 10^5
-events/s range on commodity hardware — versus ~3 x 10^4 events/s for the
-pre-refactor closure-per-event kernel at n=1024 (a >=3x speedup, measured
-at the refactor commit with this benchmark's protocol).  A collapse of the
-large-``n`` rate to a small fraction of the small-``n`` rate signals an
-accidental O(n) cost in the per-event path.
+**Batch speedup** — the struct-of-arrays batch dispatcher
+(:mod:`repro.core.batch`) against the scalar one-``handle()``-per-event
+kernel on the synchronized-rate-class workloads it was built for, at
+n=4096.  Both kernels run the *same* configs in-process (the batch flag
+is per-``Simulator``); rates are medians over ``BATCH_REPS`` runs because
+scalar wall-clock noise is ~10% run-to-run.  The acceptance target is a
+>= ``SPEEDUP_TARGET`` median-rate win on the dense (grid) workload -- the
+degree-4 fan-out is where hoisting the per-neighbour bound computation
+out of the per-message loop pays most; the ring number is reported
+alongside for the sparse end.  Parity is not re-checked here (the test
+suite pins bit-identical results); this benchmark only times.
 """
 
 from __future__ import annotations
 
+import statistics
 import time
 
 from repro.analysis import TextTable
 from repro.harness import configs, run_experiment
+from repro.harness.runner import Experiment
 
 from _common import emit, run_once, sweep, write_bench_json
 
@@ -33,6 +44,14 @@ SIZES = (64, 256, 1024, 4096)
 HORIZON = 20.0
 #: Largest rate may not drop below this fraction of the smallest-n rate.
 FLATNESS_FLOOR = 0.25
+
+#: Batch-vs-scalar section: median-of-reps on the batch workloads.
+BATCH_N = 4096
+BATCH_HORIZON = 30.0
+BATCH_REPS = 3
+#: Required median events/s multiple of the batch kernel over the scalar
+#: kernel on the dense workload.
+SPEEDUP_TARGET = 5.0
 
 
 def _events_per_second(n: int) -> tuple[float, int]:
@@ -84,8 +103,101 @@ def _run_scaling() -> tuple[str, bool, dict]:
     return txt, ok, payload
 
 
+def _median_rate(make_cfg, batch: bool) -> tuple[float, int]:
+    """Median events/s over ``BATCH_REPS`` runs of one kernel flavour."""
+    rates = []
+    events = 0
+    for _ in range(BATCH_REPS):
+        exp = Experiment(make_cfg())
+        exp.sim.batch = batch
+        t0 = time.perf_counter()
+        res = exp.run()
+        elapsed = time.perf_counter() - t0
+        events = res.events_dispatched
+        rates.append(events / max(elapsed, 1e-9))
+    return statistics.median(rates), events
+
+
+def _run_batch_speedup() -> tuple[str, bool, dict]:
+    workloads = [
+        (
+            "sync_ring",
+            lambda: configs.huge_sync_ring(BATCH_N, horizon=BATCH_HORIZON),
+        ),
+        (
+            "sync_grid",
+            lambda: configs.huge_sync_grid(64, 64, horizon=BATCH_HORIZON),
+        ),
+    ]
+    table = TextTable(
+        ["workload", "events", "scalar ev/s", "batch ev/s", "speedup"],
+        title=(
+            f"batch kernel: scalar vs struct-of-arrays dispatch at "
+            f"n={BATCH_N} (horizon {BATCH_HORIZON}, median of "
+            f"{BATCH_REPS})"
+        ),
+    )
+    points: list[dict] = []
+    speedups: dict[str, float] = {}
+    for name, make_cfg in workloads:
+        scalar_rate, events = _median_rate(make_cfg, batch=False)
+        batch_rate, _ = _median_rate(make_cfg, batch=True)
+        speedup = batch_rate / scalar_rate
+        speedups[name] = speedup
+        table.add_row(
+            [
+                name,
+                events,
+                round(scalar_rate),
+                round(batch_rate),
+                f"{speedup:.2f}x",
+            ]
+        )
+        points.append(
+            {
+                "workload": name,
+                "n": BATCH_N,
+                "events": events,
+                "scalar_events_per_sec": scalar_rate,
+                "batch_events_per_sec": batch_rate,
+                "speedup": speedup,
+            }
+        )
+    ok = speedups["sync_grid"] >= SPEEDUP_TARGET
+    txt = table.render() + (
+        f"\ntarget: >= {SPEEDUP_TARGET:.0f}x median events/s on the dense\n"
+        "(sync_grid) workload; the ring rides the same kernel but its\n"
+        "degree-2 fan-out leaves less per-message work to hoist.\n"
+        "Parity (bit-identical results) is pinned by tests/test_batch_kernel.py.\n"
+    )
+    payload = {
+        "batch_n": BATCH_N,
+        "batch_horizon": BATCH_HORIZON,
+        "batch_reps": BATCH_REPS,
+        "speedup_target": SPEEDUP_TARGET,
+        "batch_target_met": ok,
+        "batch_points": points,
+    }
+    return txt, ok, payload
+
+
+def _run_all() -> tuple[str, bool, bool, dict]:
+    flat_txt, flat_ok, flat_payload = _run_scaling()
+    batch_txt, batch_ok, batch_payload = _run_batch_speedup()
+    return (
+        flat_txt + "\n" + batch_txt,
+        flat_ok,
+        batch_ok,
+        {**flat_payload, **batch_payload},
+    )
+
+
 def test_bench_scaling(benchmark):
-    txt, ok, payload = run_once(benchmark, _run_scaling)
+    txt, flat_ok, batch_ok, payload = run_once(benchmark, _run_all)
     emit("scaling", txt)
     write_bench_json("scaling", payload)
-    assert ok, "large-n throughput collapsed; O(n) cost in the event path?"
+    assert flat_ok, "large-n throughput collapsed; O(n) cost in the event path?"
+    assert batch_ok, (
+        f"batch kernel under {SPEEDUP_TARGET}x on the dense workload; "
+        "see benchmarks/results/scaling.txt"
+    )

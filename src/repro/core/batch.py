@@ -1,0 +1,781 @@
+"""Dense struct-of-arrays batch execution over DCSA nodes.
+
+The scalar kernel dispatches one Python ``handle()`` per event, which caps
+practical scale around 10k nodes.  At large ``n`` with identical hardware
+rates (the ``huge_sync_*`` workloads), deliveries and ticks collide on the
+same timestamps in runs of O(n) records; this module executes such a run in
+a handful of phased loops plus numpy array steps instead of n full
+event dispatches.
+
+:class:`NodeArrayTable` is the dense mirror of the per-simulator
+:class:`~repro.core.node.NodeTable`: a validated snapshot of every driver,
+its :class:`~repro.core.protocol.DCSACore` and its constant hardware rate,
+with the static columns (rates) held as numpy arrays and the dynamic
+columns (``L``, ``Lmax``, per-neighbour estimates) gathered from the cores
+on demand.  The cores remain the single source of truth, which is what
+keeps the scalar fallback path and all read-only views (recorder, oracle,
+tests) valid at any instant -- a batch step leaves *exactly* the state the
+equivalent scalar dispatch sequence would have left.
+
+**Parity contract.**  The batch handlers below are bit-identical to scalar
+dispatch, proven piecewise:
+
+* per-record phases run in scalar record order wherever an operation can
+  observe another record's effects (transport sends, FIFO clamps, timer
+  re-arms);
+* operations hoisted across records touch disjoint per-core state and
+  commute (jump application vs. another core's Gamma refresh);
+* the vectorized AdjustClock (:func:`~repro.core.dcsa.adjust_clocks_batch`)
+  performs the scalar arithmetic in the scalar association order;
+* event-queue pushes keep their per-class relative order, and cross-class
+  ties are decided by priority before sequence numbers, so the permuted
+  sequence numbers are unobservable.
+
+Three structural shortcuts keep the per-message cost near the floor, each
+with its own equivalence argument:
+
+* **Bulk sends** bypass :meth:`~repro.network.transport.Transport.send`
+  when the delay is a positive constant, tracing is off and no edge has
+  ever flipped: the FIFO clamp provably never binds under a constant delay
+  (per-link delivery times are monotone in send times), every believed
+  neighbour exists (discovery only reports real edges and none was ever
+  removed), and the delay bound was validated once at registration.
+* **Burst records** (:data:`~repro.sim.events.KIND_DELIVER_BURST`): all
+  sends of one tick run share one delivery time, so they travel as a
+  single heap record carrying parallel ``u``/``v``/``payload`` lists in
+  exact scalar send order.  The constituents would have held contiguous
+  sequence numbers, so the burst -- ordered by its first constituent's
+  position -- interleaves with any other same-time records exactly as the
+  individual records would have; the dispatch handler re-expands the
+  cardinality into ``events_dispatched``/per-kind tallies and the
+  delivered counter.
+* **Lazy lost-timer re-arm**: instead of cancel-plus-push per message, the
+  live ``lost`` record's deadline slot is advanced in place and the queue
+  re-inserts it if the stale heap entry ever surfaces (see
+  :mod:`repro.sim.queue`).  A record fires once, at its final deadline,
+  exactly like the scalar chain of cancelled-and-re-pushed records; ties
+  keep scalar order because extension order equals the original per-class
+  push order.
+
+The table only builds -- and the batch handlers only engage -- when the
+execution provably fits the fast path; anything else (baseline cores,
+drifting clock types, effect logs, tracing, adversaries that swap clocks)
+falls back to scalar dispatch with no behavioural difference.  The timer
+batch handler additionally requires *positive constant* delay and
+discovery policies: with a zero or randomized delay, a tick's send could
+schedule a same-timestamp delivery that scalar dispatch would run *before*
+the remaining timers of the run, which pre-popping cannot honour.  That
+gate is decided at transport construction from the policy types alone
+(see :class:`~repro.network.transport.Transport`); deliver batches need
+no such gate -- delivery handlers never send.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+import numpy.typing as npt
+
+from ..sim.clocks import ConstantRateClock
+from ..sim.events import (
+    KIND_DELIVER_BURST,
+    KIND_TICK_BURST,
+    KIND_TIMER,
+    PRIORITY_DELIVERY,
+    PRIORITY_TIMER,
+    ScheduledEvent,
+)
+from ..sim.simulator import Simulator
+from .dcsa import adjust_clocks_batch
+from .estimates import NeighborEstimate
+from .protocol import DCSACore
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checking
+    from ..network.transport import Transport
+    from .node import ClockSyncNode
+
+__all__ = ["NodeArrayTable", "build_node_array_table"]
+
+#: ``sim.subsystems`` key under which the built table (or ``False`` for a
+#: permanently-invalid execution) is cached.
+SUBSYSTEM_KEY = "node_array_table"
+
+_TICK = "tick"
+
+
+class NodeArrayTable:
+    """Dense, validated driver/core/rate columns for batch execution.
+
+    Construct via :func:`build_node_array_table`, which performs the
+    validity checks; the constructor itself only snapshots.
+    """
+
+    __slots__ = (
+        "sim",
+        "transport",
+        "drivers",
+        "cores",
+        "rates",
+        "rates_arr",
+        "tick_interval",
+        "delta_t_prime",
+        "b0",
+        "b_intercept",
+        "b_slope",
+        "send_delay",
+        "_ups_sorted",
+    )
+
+    def __init__(
+        self,
+        sim: Simulator,
+        transport: "Transport",
+        drivers: "list[ClockSyncNode]",
+        rates: list[float],
+    ) -> None:
+        self.sim = sim
+        self.transport = transport
+        self.drivers = drivers
+        self.cores: list[DCSACore] = [d.core for d in drivers]  # type: ignore[misc]
+        #: Constant hardware rates; the plain list serves the scalar loops,
+        #: the array the fused oracle reads.
+        self.rates = rates
+        self.rates_arr: npt.NDArray[np.float64] = np.asarray(rates, dtype=np.float64)
+        params = self.cores[0].params
+        self.tick_interval = params.tick_interval
+        self.delta_t_prime = params.delta_t_prime
+        #: ``B`` function coefficients, shared by every core (the builder
+        #: verified a single ``params`` object).
+        c0 = self.cores[0]
+        self.b0 = c0._b0
+        self.b_intercept = c0._b_intercept
+        self.b_slope = c0._b_slope
+        #: The constant per-message delay when the transport's policy is a
+        #: valid positive constant (set by :func:`build_node_array_table`),
+        #: else ``None``; gates the bulk-send path.
+        self.send_delay: float | None = None
+        #: Per-node cached ``(sorted(upsilon), (node_id,) * k)`` send
+        #: template; only consulted while ``edge_flips == 0``, where the
+        #: believed-neighbour set grows monotonically, so a length match
+        #: proves the cache current.
+        self._ups_sorted: list[tuple[list[int], tuple[int, ...]] | None] = (
+            [None] * len(drivers)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Batch handlers
+    # ------------------------------------------------------------------ #
+
+    def deliver_batch(self, records: list[ScheduledEvent]) -> None:
+        """Execute a same-timestamp run of individual ``KIND_DELIVER`` records.
+
+        Called by :meth:`Transport._handle_deliver_batch` *after* its
+        per-call guards (no tracing, no churn ever observed) ruled out the
+        drop path, so every record is a plain delivery ``u -> v`` of an
+        ``(L, Lmax)`` update.
+        """
+        dest_msgs: dict[int, list[Any]] = {}
+        get = dest_msgs.get
+        for ev in records:
+            v = ev.b
+            lst = get(v)
+            if lst is None:
+                dest_msgs[v] = [ev.a, ev.c]
+            else:
+                lst.append(ev.a)
+                lst.append(ev.c)
+        self._process_dest_msgs(dest_msgs)
+
+    def deliver_burst(
+        self, us: list[int], vs: list[int], payloads: list[Any]
+    ) -> None:
+        """Execute one burst record's constituent deliveries (see module doc)."""
+        dest_msgs: dict[int, list[Any]] = {}
+        get = dest_msgs.get
+        for u, v, payload in zip(us, vs, payloads):
+            lst = get(v)
+            if lst is None:
+                dest_msgs[v] = [u, payload]
+            else:
+                lst.append(u)
+                lst.append(payload)
+        self._process_dest_msgs(dest_msgs)
+
+    def _process_dest_msgs(self, dest_msgs: dict[int, list[Any]]) -> None:
+        """Apply same-timestamp deliveries grouped per destination.
+
+        ``dest_msgs[v]`` is the flat list ``[u0, payload0, u1, payload1,
+        ...]`` in per-destination record order.  Scalar dispatch per message
+        is: sync ``v``; cancel ``lost(u)``; Gamma track/refresh; raise
+        ``Lmax``; AdjustClock; re-arm ``lost(u)``.  The batch form runs each
+        destination *to completion* before the next: distinct destinations
+        touch disjoint cores and timers, so interleaving order across
+        destinations is unobservable -- the only cross-destination effects
+        are fresh lost-timer pushes, whose permuted sequence numbers can
+        only reorder same-``(time, priority)`` lost timers of *different*
+        destinations, and those handlers commute.  Within a destination the
+        per-message phases run in exact scalar order.
+
+        Two per-destination invariants make the inner loop cheap:
+
+        * the destination syncs once (later messages of the run find
+          ``dh == 0`` in scalar execution too), so ``H_v`` -- and with it
+          every edge age and the lost-timer deadline -- is *fixed* for the
+          whole timestamp;
+        * therefore each Gamma row's AdjustClock candidate
+          ``L^u_v + B(age)`` is computed once and patched only for the row
+          the current message refreshes (bitwise equal to the scalar
+          recomputation: same operations, same operands), and the running
+          scalar ``min`` equals ``min()`` over the candidate table.
+        """
+        sim = self.sim
+        now = sim.now
+        cores = self.cores
+        drivers = self.drivers
+        rates = self.rates
+        queue = sim.queue
+        free = queue._free
+        heap = queue._heap
+        heappush = heapq.heappush
+        dtp = self.delta_t_prime
+        b0 = self.b0
+        intercept = self.b_intercept
+        slope = self.b_slope
+        seq = queue._seq
+        pushed = 0
+        for v, msgs in dest_msgs.items():
+            core = cores[v]
+            rows = core.gamma._rows
+            h = rates[v] * now
+            dh = h - core.h_last
+            # Ages are fixed for the timestamp: AdjustClock candidates are
+            # computed once per row (fused with the estimate advance of the
+            # sync -- same updated ``l_est`` value) and patched only for
+            # the row each message refreshes.
+            cand: dict[int, float] = {}
+            if dh != 0.0:
+                core._L += dh
+                core._Lmax += dh
+                core.h_last = h
+                for u, row in rows.items():
+                    le = row.l_est + dh
+                    row.l_est = le
+                    b = intercept - slope * (h - row.added_h)
+                    if b < b0:
+                        b = b0
+                    cand[u] = le + b
+            else:
+                for u, row in rows.items():
+                    b = intercept - slope * (h - row.added_h)
+                    if b < b0:
+                        b = b0
+                    cand[u] = row.l_est + b
+            d = drivers[v]
+            d._t_last = now
+            # The re-armed lost deadline is likewise message-independent.
+            fire_t = (h + dtp) / rates[v]
+            if fire_t < now:
+                fire_t = now
+            timers = d._timers
+            L = core._L
+            lmax = core._Lmax
+            it = iter(msgs)
+            for u, payload in zip(it, it):
+                l_v = payload[0]
+                row = rows.get(u)
+                if row is None:
+                    # Gamma (re-)entry: C^v_u := H_u now (pseudocode 17-19);
+                    # age 0 exactly, so b = max(intercept, b0).
+                    rows[u] = NeighborEstimate(h, l_v)
+                    b = intercept
+                    if b < b0:
+                        b = b0
+                    cand[u] = l_v + b
+                elif l_v > row.l_est:
+                    row.l_est = l_v
+                    b = intercept - slope * (h - row.added_h)
+                    if b < b0:
+                        b = b0
+                    cand[u] = l_v + b
+                lmax_v = payload[1]
+                if lmax_v > lmax:
+                    lmax = lmax_v
+                # AdjustClock against the patched candidate table.
+                ceiling = min(cand.values())
+                if lmax < ceiling:
+                    ceiling = lmax
+                if ceiling > L:
+                    core.total_jump += ceiling - L
+                    core.jumps += 1
+                    L = ceiling
+                key = ("lost", u)
+                prev = timers.get(key)
+                if prev is not None and not prev.cancelled and prev.queued:
+                    # Lazy re-arm: advance the live record's deadline in
+                    # place; the queue re-inserts it if the stale heap
+                    # entry surfaces first.
+                    prev.c = fire_t
+                else:
+                    if free:
+                        rec = free.pop()
+                        rec.time = fire_t
+                        rec.priority = PRIORITY_TIMER
+                        rec.seq = seq
+                        rec.kind = KIND_TIMER
+                        rec.fn = None
+                        rec.a = d
+                        rec.b = key
+                        rec.c = fire_t
+                        rec.d = None
+                        rec.e = None
+                        rec.cancelled = False
+                        rec.gen += 1
+                        rec.label = "timer"
+                    else:
+                        queue.allocations += 1
+                        rec = ScheduledEvent(
+                            fire_t, PRIORITY_TIMER, seq, None, "timer",
+                            kind=KIND_TIMER, a=d, b=key, c=fire_t,
+                        )
+                    rec.queued = True
+                    heappush(heap, (fire_t, PRIORITY_TIMER, seq, rec))
+                    seq += 1
+                    pushed += 1
+                    timers[key] = rec
+            core._L = L
+            core._Lmax = lmax
+        queue._seq = seq
+        queue._live += pushed
+
+    def handle_timer_batch(self, records: list[ScheduledEvent]) -> None:
+        """Execute a same-timestamp run of ``KIND_TIMER`` records.
+
+        Only reached when the delay and discovery policies are positive
+        constants (see module docstring), so nothing a tick handler
+        schedules can land at the current timestamp.  Mixed-key runs (any
+        ``lost`` timer present) replay scalar dispatch in record order --
+        already a win over per-event kernel turns; all-tick runs run one
+        fused loop: per record sync + payload capture + sends (in scalar
+        order -- sends consume sequence numbers in record order) + tick
+        re-arm, then the burst push, then vectorized AdjustClock.  Payloads
+        are captured *before* AdjustClock exactly as the scalar handler
+        reads them, the re-arm deadline depends only on the post-sync
+        ``H``, and hoisting AdjustClock after the re-arms is sound because
+        it touches only core state the re-arms never read; the re-arm
+        records land in a different priority class from the burst, so the
+        permuted sequence numbers are unobservable.  Each tick record is
+        re-pushed *in place* (it just fired, its payload is already
+        correct, and the kernel skips requeued records when recycling).
+        When the bulk-send guards hold (no tracing, no edge flip ever),
+        the run's sends travel as one burst record; otherwise each send
+        goes through :meth:`Transport.send` unchanged.
+        """
+        for ev in records:
+            if ev.b != _TICK:
+                for rec in records:
+                    rec.a._fire_timer(rec.b)
+                return
+        sim = self.sim
+        now = sim.now
+        cores = self.cores
+        rates = self.rates
+        transport = self.transport
+        queue = sim.queue
+        free = queue._free
+        heap = queue._heap
+        heappush = heapq.heappush
+        delayv = self.send_delay
+        bulk = (
+            delayv is not None
+            and transport.edge_flips == 0
+            and transport._trace is None
+            and transport._tracer is None
+        )
+        send = transport.send
+        ups_sorted = self._ups_sorted
+        ti = self.tick_interval
+        u_list: list[int] = []
+        v_list: list[int] = []
+        p_list: list[Any] = []
+        uext = u_list.extend
+        vext = v_list.extend
+        pext = p_list.extend
+        tick_cores: list[DCSACore] = []
+        capp = tick_cores.append
+        fts: list[float] = []
+        ftapp = fts.append
+        seq = queue._seq
+        for ev in records:
+            d = ev.a
+            nid = d.node_id
+            core = cores[nid]
+            h = rates[nid] * now
+            dh = h - core.h_last
+            if dh != 0.0:
+                core._L += dh
+                core._Lmax += dh
+                for row in core.gamma._rows.values():
+                    row.l_est += dh
+                core.h_last = h
+            d._t_last = now
+            ups = core.upsilon
+            if ups:
+                payload = (core._L, core._Lmax)
+                if bulk:
+                    k = len(ups)
+                    entry = ups_sorted[nid]
+                    if entry is None or len(entry[0]) != k:
+                        entry = (sorted(ups), (nid,) * k)
+                        ups_sorted[nid] = entry
+                    # Scalar _send bumps the counter at emission time; the
+                    # batch bypasses the effect list, so count here.
+                    core.messages_sent += k
+                    uext(entry[1])
+                    vext(entry[0])
+                    pext((payload,) * k)
+                else:
+                    # Transport.send consumes sequence numbers itself:
+                    # hand the counter over and take it back after.
+                    queue._seq = seq
+                    for v in sorted(ups):
+                        core.messages_sent += 1
+                        send(nid, v, payload)
+                    seq = queue._seq
+            fire_t = (h + ti) / rates[nid]
+            if fire_t < now:
+                fire_t = now
+            ftapp(fire_t)
+            capp(core)
+        if u_list:
+            card = len(u_list)
+            t_del = now + delayv  # type: ignore[operator]
+            if free:
+                rec = free.pop()
+                rec.time = t_del
+                rec.priority = PRIORITY_DELIVERY
+                rec.seq = seq
+                rec.kind = KIND_DELIVER_BURST
+                rec.fn = None
+                rec.a = u_list
+                rec.b = v_list
+                rec.c = p_list
+                rec.d = now
+                rec.e = card
+                rec.cancelled = False
+                rec.gen += 1
+                rec.label = "deliver+"
+            else:
+                queue.allocations += 1
+                rec = ScheduledEvent(
+                    t_del, PRIORITY_DELIVERY, seq, None, "deliver+",
+                    kind=KIND_DELIVER_BURST, a=u_list, b=v_list, c=p_list,
+                    d=now, e=card,
+                )
+            rec.queued = True
+            heappush(heap, (t_del, PRIORITY_DELIVERY, seq, rec))
+            seq += 1
+            queue._live += 1
+            transport.stats.sent += card
+        # Tick re-arm.  When every deadline of the run coincides (a rate
+        # class in lockstep -- the steady state here), the class's pending
+        # ticks collapse into a single group record: one heap entry instead
+        # of one per node, and on every later cycle the group re-pushes
+        # itself with the same driver list (see :meth:`handle_tick_group`).
+        # The constituents would have held contiguous sequence numbers in
+        # this tie class (deliveries land in a different priority class),
+        # so the group -- ordered by its first constituent's position --
+        # preserves scalar tie order.
+        if len(records) > 1 and fts.count(fts[0]) == len(fts):
+            ft0 = fts[0]
+            grp_card = len(records)
+            if free:
+                grp = free.pop()
+                grp.time = ft0
+                grp.priority = PRIORITY_TIMER
+                grp.seq = seq
+                grp.kind = KIND_TICK_BURST
+                grp.fn = None
+                grp.a = [ev.a for ev in records]
+                grp.b = None
+                grp.c = None
+                grp.d = None
+                grp.e = grp_card
+                grp.cancelled = False
+                grp.gen += 1
+                grp.label = "tick+"
+            else:
+                queue.allocations += 1
+                grp = ScheduledEvent(
+                    ft0, PRIORITY_TIMER, seq, None, "tick+",
+                    kind=KIND_TICK_BURST, a=[ev.a for ev in records],
+                    e=grp_card,
+                )
+            grp.queued = True
+            heappush(heap, (ft0, PRIORITY_TIMER, seq, grp))
+            seq += 1
+            for ev in records:
+                ev.a._timers[_TICK] = grp
+            queue._live += 1
+        else:
+            for ev, ft in zip(records, fts):
+                # The record just fired and still carries the right
+                # kind/payload/label, so re-push it as-is (only lost
+                # re-arms ever set the lazy-deadline slot ``c``).
+                ev.time = ft
+                ev.seq = seq
+                ev.queued = True
+                heappush(heap, (ft, PRIORITY_TIMER, seq, ev))
+                seq += 1
+                ev.a._timers[_TICK] = ev
+            queue._live += len(records)
+        queue._seq = seq
+        adjust_clocks_batch(tick_cores)
+
+    def handle_tick_group(self, ev: ScheduledEvent) -> None:
+        """Execute one tick-group record (see :data:`KIND_TICK_BURST`).
+
+        Semantically identical to :meth:`handle_timer_batch` over the
+        constituent drivers' tick records, in list order (which is the
+        original record order).  In the steady state every constituent's
+        next deadline coincides again and the group re-pushes *itself* --
+        same record, same driver list, fresh sequence number -- so a tick
+        cycle of n nodes costs one heappush/heappop pair and zero
+        ``_timers`` writes (each driver's entry already aliases the
+        group).  If the deadlines ever diverge, the group dissolves back
+        into individual records.
+        """
+        sim = self.sim
+        now = sim.now
+        cores = self.cores
+        rates = self.rates
+        transport = self.transport
+        queue = sim.queue
+        free = queue._free
+        heap = queue._heap
+        heappush = heapq.heappush
+        delayv = self.send_delay
+        bulk = (
+            delayv is not None
+            and transport.edge_flips == 0
+            and transport._trace is None
+            and transport._tracer is None
+        )
+        send = transport.send
+        ups_sorted = self._ups_sorted
+        ti = self.tick_interval
+        drivers_list = ev.a
+        u_list: list[int] = []
+        v_list: list[int] = []
+        p_list: list[Any] = []
+        uext = u_list.extend
+        vext = v_list.extend
+        pext = p_list.extend
+        tick_cores: list[DCSACore] = []
+        capp = tick_cores.append
+        seq = queue._seq
+        ft0 = -1.0
+        same = True
+        for d in drivers_list:
+            nid = d.node_id
+            core = cores[nid]
+            h = rates[nid] * now
+            dh = h - core.h_last
+            if dh != 0.0:
+                core._L += dh
+                core._Lmax += dh
+                for row in core.gamma._rows.values():
+                    row.l_est += dh
+                core.h_last = h
+            d._t_last = now
+            ups = core.upsilon
+            if ups:
+                payload = (core._L, core._Lmax)
+                if bulk:
+                    k = len(ups)
+                    entry = ups_sorted[nid]
+                    if entry is None or len(entry[0]) != k:
+                        entry = (sorted(ups), (nid,) * k)
+                        ups_sorted[nid] = entry
+                    core.messages_sent += k
+                    uext(entry[1])
+                    vext(entry[0])
+                    pext((payload,) * k)
+                else:
+                    queue._seq = seq
+                    for v in sorted(ups):
+                        core.messages_sent += 1
+                        send(nid, v, payload)
+                    seq = queue._seq
+            fire_t = (h + ti) / rates[nid]
+            if fire_t < now:
+                fire_t = now
+            if ft0 < 0.0:
+                ft0 = fire_t
+            elif fire_t != ft0:
+                same = False
+            capp(core)
+        if u_list:
+            card = len(u_list)
+            t_del = now + delayv  # type: ignore[operator]
+            if free:
+                rec = free.pop()
+                rec.time = t_del
+                rec.priority = PRIORITY_DELIVERY
+                rec.seq = seq
+                rec.kind = KIND_DELIVER_BURST
+                rec.fn = None
+                rec.a = u_list
+                rec.b = v_list
+                rec.c = p_list
+                rec.d = now
+                rec.e = card
+                rec.cancelled = False
+                rec.gen += 1
+                rec.label = "deliver+"
+            else:
+                queue.allocations += 1
+                rec = ScheduledEvent(
+                    t_del, PRIORITY_DELIVERY, seq, None, "deliver+",
+                    kind=KIND_DELIVER_BURST, a=u_list, b=v_list, c=p_list,
+                    d=now, e=card,
+                )
+            rec.queued = True
+            heappush(heap, (t_del, PRIORITY_DELIVERY, seq, rec))
+            seq += 1
+            queue._live += 1
+            transport.stats.sent += card
+        if same:
+            # Steady state: re-push the group itself at the shared
+            # deadline; every driver's ``_timers`` entry already points at
+            # it.
+            ev.time = ft0
+            ev.seq = seq
+            ev.queued = True
+            heappush(heap, (ft0, PRIORITY_TIMER, seq, ev))
+            seq += 1
+            queue._live += 1
+        else:
+            # Deadlines diverged: dissolve into individual tick records.
+            for d in drivers_list:
+                nid = d.node_id
+                core = cores[nid]
+                fire_t = (core.h_last + ti) / rates[nid]
+                if fire_t < now:
+                    fire_t = now
+                if free:
+                    rec = free.pop()
+                    rec.time = fire_t
+                    rec.priority = PRIORITY_TIMER
+                    rec.seq = seq
+                    rec.kind = KIND_TIMER
+                    rec.fn = None
+                    rec.a = d
+                    rec.b = _TICK
+                    rec.c = None
+                    rec.d = None
+                    rec.e = None
+                    rec.cancelled = False
+                    rec.gen += 1
+                    rec.label = "timer"
+                else:
+                    queue.allocations += 1
+                    rec = ScheduledEvent(
+                        fire_t, PRIORITY_TIMER, seq, None, "timer",
+                        kind=KIND_TIMER, a=d, b=_TICK,
+                    )
+                rec.queued = True
+                heappush(heap, (fire_t, PRIORITY_TIMER, seq, rec))
+                seq += 1
+                d._timers[_TICK] = rec
+            queue._live += len(drivers_list)
+        queue._seq = seq
+        adjust_clocks_batch(tick_cores)
+
+    # ------------------------------------------------------------------ #
+    # Dense reads (oracle sampling)
+    # ------------------------------------------------------------------ #
+
+    def clock_column(self, t: float) -> npt.NDArray[np.float64]:
+        """``L_u(t)`` for every node as a dense array (scalar association).
+
+        Matches ``core.logical_clock_at(rate * t)`` bitwise: the fused
+        expression evaluates ``L + (h - h_last)`` elementwise in the same
+        order.
+        """
+        n = len(self.cores)
+        L = np.fromiter((c._L for c in self.cores), np.float64, count=n)
+        hl = np.fromiter((c.h_last for c in self.cores), np.float64, count=n)
+        h = self.rates_arr * t
+        result: npt.NDArray[np.float64] = L + (h - hl)
+        return result
+
+    def max_estimate_column(self, t: float) -> npt.NDArray[np.float64]:
+        """``Lmax_u(t)`` for every node as a dense array (scalar association)."""
+        n = len(self.cores)
+        lm = np.fromiter((c._Lmax for c in self.cores), np.float64, count=n)
+        hl = np.fromiter((c.h_last for c in self.cores), np.float64, count=n)
+        h = self.rates_arr * t
+        result: npt.NDArray[np.float64] = lm + (h - hl)
+        return result
+
+
+def build_node_array_table(
+    sim: Simulator, transport: "Transport"
+) -> NodeArrayTable | None:
+    """Validate the execution for batch dispatch and build the dense table.
+
+    Returns the table (cached under ``sim.subsystems["node_array_table"]``)
+    when every driver is a plain DCSA node on a constant-rate clock with no
+    observers attached, or ``None`` (cached as ``False`` by the caller)
+    otherwise.  Called lazily on the first batch run -- after ``t = 0``
+    wiring, so adversary clock swaps and tracer attachments are visible.
+
+    When additionally the delay policy is a valid positive constant, the
+    table's :attr:`~NodeArrayTable.send_delay` is set, enabling the
+    bulk-send/burst path of :meth:`NodeArrayTable.handle_timer_batch` (the
+    timer batch handler itself is registered by the transport at
+    construction, gated on the policy types).
+    """
+    from ..network.channels import ConstantDelay
+
+    node_table = sim.subsystems.get("node_table")
+    if node_table is None:
+        return None
+    drivers: "list[ClockSyncNode | None]" = node_table.drivers
+    if not drivers:
+        return None
+    node_seq = transport._node_seq
+    if len(node_seq) != len(drivers):
+        return None
+    if transport._trace is not None or transport._tracer is not None:
+        return None
+    checked: "list[ClockSyncNode]" = []
+    rates: list[float] = []
+    params: Any = None
+    for i, d in enumerate(drivers):
+        if d is None or (i >= len(node_seq) or node_seq[i] is not d):
+            return None
+        if type(d.core) is not DCSACore:
+            return None
+        clock = d.clock
+        if type(clock) is not ConstantRateClock or clock.rate <= 0.0:
+            return None
+        if d.effect_log is not None or d._tracer is not None or d.trace.enabled:
+            return None
+        if params is None:
+            params = d.core.params
+        elif d.core.params is not params:
+            return None
+        checked.append(d)
+        rates.append(clock.rate)
+    table = NodeArrayTable(sim, transport, checked, rates)
+    delay = transport.delay_policy
+    if (
+        type(delay) is ConstantDelay
+        and 0.0 < delay.value <= transport.max_delay + 1e-9
+    ):
+        table.send_delay = delay.value
+    sim.subsystems[SUBSYSTEM_KEY] = table
+    return table

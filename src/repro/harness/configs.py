@@ -30,6 +30,8 @@ __all__ = [
     "large_ring",
     "huge_ring",
     "huge_grid",
+    "huge_sync_ring",
+    "huge_sync_grid",
     "huge_churn_ring",
     "static_grid",
     "backbone_churn",
@@ -198,6 +200,84 @@ def huge_grid(
         record=False,
         oracle=OracleRef("standard", {}) if oracle else None,
         name=f"huge_grid({rows}x{cols}, {algorithm})",
+    )
+
+
+def huge_sync_ring(
+    n: int = 4096,
+    *,
+    horizon: float = 30.0,
+    seed: int = 0,
+    algorithm: str = "dcsa",
+    sample_interval: float = 5.0,
+    oracle: bool = True,
+    b0: float | None = None,
+) -> ExperimentConfig:
+    """The batch kernel's flagship workload: a ring of two exact rate classes.
+
+    Split extremal clocks (``1 + rho`` / ``1 - rho`` constant rates) with
+    unstaggered ticks and *constant* delay/discovery policies make every
+    node of a rate class tick at identical timestamps forever, and their
+    messages land in same-timestamp delivery bursts of ~n records -- the
+    regime the struct-of-arrays batch dispatcher (see
+    :mod:`repro.core.batch` and docs/performance.md) turns into a handful
+    of vectorized phases per timestamp instead of n scalar ``handle()``
+    calls.  Unlike a single synchronized rate class, the fast/slow split
+    also produces real skew and discrete jumps, so batch-vs-scalar parity
+    runs on this workload exercise the full AdjustClock path.  Scales to
+    n=100k+ (recorder off, streaming oracle on).
+    """
+    return ExperimentConfig(
+        params=_params(n, b0),
+        initial_edges=ring_edges(n),
+        algorithm=algorithm,
+        clock_spec="split",
+        delay_spec="half",
+        discovery_spec="max",
+        stagger_ticks=False,
+        horizon=horizon,
+        sample_interval=sample_interval,
+        seed=seed,
+        track_edges=False,
+        record=False,
+        oracle=OracleRef("standard", {}) if oracle else None,
+        name=f"huge_sync_ring(n={n}, {algorithm})",
+    )
+
+
+def huge_sync_grid(
+    rows: int = 64,
+    cols: int = 64,
+    *,
+    horizon: float = 30.0,
+    seed: int = 0,
+    algorithm: str = "dcsa",
+    sample_interval: float = 5.0,
+    oracle: bool = True,
+    b0: float | None = None,
+) -> ExperimentConfig:
+    """The batch workload on a grid (denser bursts: ~2 edges per node).
+
+    Same synchronized-rate-class posture as :func:`huge_sync_ring`; the
+    grid's heavier fan-out roughly doubles the size of each delivery
+    burst, stressing the batch dispatcher's round decomposition.
+    """
+    n = rows * cols
+    return ExperimentConfig(
+        params=_params(n, b0),
+        initial_edges=grid_edges(rows, cols),
+        algorithm=algorithm,
+        clock_spec="split",
+        delay_spec="half",
+        discovery_spec="max",
+        stagger_ticks=False,
+        horizon=horizon,
+        sample_interval=sample_interval,
+        seed=seed,
+        track_edges=False,
+        record=False,
+        oracle=OracleRef("standard", {}) if oracle else None,
+        name=f"huge_sync_grid({rows}x{cols}, {algorithm})",
     )
 
 
@@ -810,6 +890,8 @@ WORKLOADS = {
     "large_ring": large_ring,
     "huge_ring": huge_ring,
     "huge_grid": huge_grid,
+    "huge_sync_ring": huge_sync_ring,
+    "huge_sync_grid": huge_sync_grid,
     "huge_churn_ring": huge_churn_ring,
     "static_grid": static_grid,
     "backbone_churn": backbone_churn,

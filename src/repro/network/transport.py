@@ -41,7 +41,15 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Protocol
 
-from ..sim.events import KIND_DELIVER, KIND_DISCOVER, PRIORITY_DELIVERY, ScheduledEvent
+from ..sim.events import (
+    KIND_DELIVER,
+    KIND_DELIVER_BURST,
+    KIND_DISCOVER,
+    KIND_TICK_BURST,
+    KIND_TIMER,
+    PRIORITY_DELIVERY,
+    ScheduledEvent,
+)
 from ..sim.simulator import Simulator
 from ..sim.tracing import NULL_TRACE, TraceRecorder
 from ..tracing.spans import (
@@ -50,11 +58,12 @@ from ..tracing.spans import (
     STATUS_DROPPED,
     STATUS_PENDING,
 )
-from .channels import DelayPolicy
-from .discovery import DiscoveryPolicy
+from .channels import ConstantDelay, DelayPolicy
+from .discovery import ConstantDiscovery, DiscoveryPolicy
 from .graph import DynamicGraph
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checking
+    from ..core.batch import NodeArrayTable
     from ..telemetry.registry import MetricsRegistry
     from ..tracing.context import Tracer
 
@@ -151,8 +160,43 @@ class Transport:
         self._has_edge = graph.has_edge
         self._removed_during = graph.removed_during
         self._push = sim.queue.push_typed
+        #: Batch-dispatch table: ``None`` until first use, ``False`` when
+        #: the execution was checked and found batch-incompatible (the
+        #: verdict cannot change mid-run, so it is cached), else the built
+        #: :class:`~repro.core.batch.NodeArrayTable`.
+        self._batch_table: "NodeArrayTable | None | bool" = None
         sim.set_handler(KIND_DELIVER, self._handle_deliver)
+        sim.set_handler(KIND_DELIVER_BURST, self._handle_deliver_burst)
         sim.set_handler(KIND_DISCOVER, self._handle_discover)
+        if sim.batch:
+            sim.set_batch_handler(KIND_DELIVER, self._handle_deliver_batch)
+            sim.set_batch_handler(
+                KIND_DELIVER_BURST, self._handle_deliver_burst_run
+            )
+            # Pre-popping timer runs is only sound when nothing a timer
+            # handler does can schedule a same-timestamp event that scalar
+            # dispatch would order *inside* the run: a zero or randomized
+            # delay (or discovery latency) could land a delivery/discovery
+            # at the current time at a lower priority.  Both policies being
+            # positive constants rules that out, and the policy types are
+            # fixed for the transport's lifetime, so the gate is decided
+            # here once.
+            delay = self.delay_policy
+            disc = self.discovery_policy
+            if (
+                type(delay) is ConstantDelay
+                and delay.value > 0.0
+                and type(disc) is ConstantDiscovery
+                and disc.value > 0.0
+            ):
+                sim.set_batch_handler(KIND_TIMER, self._handle_timer_batch)
+                # Tick-group records only ever originate from the batch
+                # table's timer handler, so their handlers ride the same
+                # gate.
+                sim.set_handler(KIND_TICK_BURST, self._handle_tick_burst)
+                sim.set_batch_handler(
+                    KIND_TICK_BURST, self._handle_tick_burst_run
+                )
         graph.subscribe(self._on_graph_event)
 
     def attach_tracer(self, tracer: "Tracer") -> None:
@@ -278,6 +322,129 @@ class Transport:
         """Kernel handler for ``KIND_DELIVER`` records (one call per message)."""
         self._deliver(ev.a, ev.b, ev.c, ev.d, ev.e)
 
+    def _handle_deliver_batch(self, records: list[ScheduledEvent]) -> None:
+        """Kernel batch handler for same-timestamp ``KIND_DELIVER`` runs.
+
+        Pre-popping a deliver run is always sound -- delivery handlers
+        never send, so nothing they do can insert a record *inside* the
+        run -- but the array fast path additionally requires a valid
+        :class:`~repro.core.batch.NodeArrayTable` (built lazily on first
+        use, after ``t = 0`` wiring), no tracing, and a topology that has
+        never mutated (``edge_flips == 0`` implies no delivery can hit the
+        drop path).  Anything else replays the run through the scalar
+        delivery in record order, which is exact.
+        """
+        table = self._ensure_batch_table()
+        if (
+            table is not False
+            and self.edge_flips == 0
+            and self._trace is None
+            and self._tracer is None
+        ):
+            assert not isinstance(table, bool)
+            table.deliver_batch(records)
+            self.stats.delivered += len(records)
+            return
+        deliver = self._deliver
+        for ev in records:
+            deliver(ev.a, ev.b, ev.c, ev.d, ev.e)
+
+    def _ensure_batch_table(self) -> "NodeArrayTable | bool":
+        """Build (once) and cache the batch dispatch table (see module doc)."""
+        table = self._batch_table
+        if table is None:
+            from ..core.batch import build_node_array_table
+
+            built = build_node_array_table(self.sim, self)
+            table = built if built is not None else False
+            self._batch_table = table
+        return table
+
+    def _handle_timer_batch(self, records: list[ScheduledEvent]) -> None:
+        """Kernel batch handler for same-timestamp ``KIND_TIMER`` runs.
+
+        Registered only under the constant-policy gate (see ``__init__``),
+        which makes pre-popping sound; the array fast path additionally
+        needs a valid table, else the run replays scalar timer dispatch in
+        record order, which is exact.
+        """
+        table = self._ensure_batch_table()
+        if table is not False:
+            assert not isinstance(table, bool)
+            table.handle_timer_batch(records)
+            return
+        for rec in records:
+            rec.a._fire_timer(rec.b)
+
+    def _handle_tick_burst(self, ev: ScheduledEvent) -> None:
+        """Kernel handler for ``KIND_TICK_BURST`` records.
+
+        A group stands for the pending ticks of ``ev.e`` drivers (see
+        :mod:`repro.sim.events`); the kernel counted the record as one
+        dispatch, so re-expand the cardinality into the dispatch tallies
+        before executing.  Groups are only ever created by the batch
+        table's timer handler, so the table is always built and valid
+        here.
+        """
+        sim = self.sim
+        card = ev.e
+        sim.events_dispatched += card - 1
+        kind_counts = sim.kind_counts
+        if kind_counts is not None:
+            kind_counts[KIND_TICK_BURST] -= 1
+            kind_counts[KIND_TIMER] += card
+        table = self._batch_table
+        assert table is not None and table is not False
+        table.handle_tick_group(ev)
+
+    def _handle_tick_burst_run(self, records: list[ScheduledEvent]) -> None:
+        """Kernel batch handler for runs of tick groups (rare tie case)."""
+        for ev in records:
+            self._handle_tick_burst(ev)
+
+    def _handle_deliver_burst(self, ev: ScheduledEvent) -> None:
+        """Kernel handler for ``KIND_DELIVER_BURST`` records.
+
+        A burst stands for ``ev.e`` consecutive individual deliveries (see
+        :mod:`repro.sim.events`); the kernel counted the record as one
+        dispatch, so re-expand the cardinality into the dispatch tallies
+        before delivering.
+        """
+        sim = self.sim
+        card = ev.e
+        sim.events_dispatched += card - 1
+        kind_counts = sim.kind_counts
+        if kind_counts is not None:
+            kind_counts[KIND_DELIVER_BURST] -= 1
+            kind_counts[KIND_DELIVER] += card
+        table = self._batch_table
+        if (
+            table is not None
+            and table is not False
+            and self.edge_flips == 0
+            and self._trace is None
+            and self._tracer is None
+        ):
+            assert not isinstance(table, bool)
+            table.deliver_burst(ev.a, ev.b, ev.c)
+            self.stats.delivered += card
+            return
+        # Churn happened while the burst was in flight: replay the
+        # constituents through the scalar delivery, which applies the
+        # per-message drop checks exactly as individual records would.
+        us = ev.a
+        vs = ev.b
+        payloads = ev.c
+        send_time = ev.d
+        deliver = self._deliver
+        for i in range(card):
+            deliver(us[i], vs[i], payloads[i], send_time, -1)
+
+    def _handle_deliver_burst_run(self, records: list[ScheduledEvent]) -> None:
+        """Kernel batch handler for runs of burst records (rare tie case)."""
+        for ev in records:
+            self._handle_deliver_burst(ev)
+
     def _deliver(
         self, u: int, v: int, payload: Any, send_time: float,
         sid: int | None = -1,
@@ -314,23 +481,37 @@ class Transport:
             node.on_message(u, payload)
 
     def finalize_tracing(self) -> None:
-        """Re-mark spans of still-queued deliveries as in flight.
+        """Re-mark spans of still-queued deliveries as in flight or dropped.
 
         Flight spans are recorded optimistically ``STATUS_DONE`` at send
         time (see :meth:`send`); messages the horizon caught mid-flight
         never delivered, so walk the remaining event queue -- O(pending),
-        a few hundred records -- and patch those spans back to
-        ``STATUS_PENDING``.  The harness calls this once after the run.
+        a few hundred records -- and patch those spans.  A message whose
+        edge has already failed would have been dropped at delivery time
+        (the same check :meth:`_deliver` applies), so its span is closed
+        ``STATUS_DROPPED`` at the horizon -- leaving it ``PENDING`` would
+        strand a flight aimed at a node track that may no longer exist in
+        the Perfetto export.  Everything else stays genuinely in flight
+        and becomes ``STATUS_PENDING``.  The harness calls this once after
+        the run.
         """
         tracer = self._tracer
         if tracer is None:
             return
         data = tracer.data
+        now = self.sim.now
         for ev in self.sim.queue.live_events():
             if ev.kind == KIND_DELIVER:
                 sid = ev.e
                 if sid is not None and sid >= 0:
-                    data[(sid << 3) + 6] = STATUS_PENDING
+                    base = sid << 3
+                    if not self._has_edge(ev.a, ev.b) or self._removed_during(
+                        ev.a, ev.b, ev.d, now
+                    ):
+                        data[base + 4] = now
+                        data[base + 6] = STATUS_DROPPED
+                    else:
+                        data[base + 6] = STATUS_PENDING
 
     # ------------------------------------------------------------------ #
     # Discovery

@@ -179,6 +179,14 @@ class StreamingOracle:
         # (``None`` / unused when causal tracing is off).
         self._tracer: "Tracer | None" = None
         self._anchored: list[int] | None = None
+        # Dense-array sampling (see repro.core.batch): the owning simulator
+        # when installed on one, and the discovered NodeArrayTable.
+        # ``_table`` is ``None`` until a table appears in sim.subsystems
+        # (the batch kernel builds it lazily, so every sample re-checks),
+        # ``False`` once checked and found not to cover this oracle's node
+        # set, else the table itself.
+        self._sim: Simulator | None = None
+        self._table: Any = None
 
     @staticmethod
     def _resolve(m: str | Monitor) -> Monitor:
@@ -264,6 +272,7 @@ class StreamingOracle:
         """
         self.attach(nodes, interval=interval)
         self.attach_graph(graph)
+        self._sim = sim
         assert self.interval is not None
         sim.every(self.interval, self.sample, end=end)
 
@@ -327,16 +336,51 @@ class StreamingOracle:
     # Sampling
     # ------------------------------------------------------------------ #
 
+    def _discover_table(self) -> None:
+        """Adopt the batch kernel's dense node table when it covers us.
+
+        The fused column reads are bit-identical to the per-node reader
+        closures (same ``L + (h - h_last)`` association; see
+        :meth:`repro.core.batch.NodeArrayTable.clock_column`), so adopting
+        the table changes sampling cost, never sampled values.  Requires
+        this oracle's node set to be exactly the table's dense id range
+        with identical driver objects; anything else pins ``_table`` to
+        ``False`` and keeps the reader loop.
+        """
+        sim = self._sim
+        if sim is None:
+            self._table = False
+            return
+        table = sim.subsystems.get("node_array_table")
+        if table is None:
+            return  # Not built (yet); re-check next sample.
+        drivers = table.drivers
+        if self._node_ids == list(range(len(drivers))) and all(
+            drivers[i] is self._nodes[i] for i in self._node_ids
+        ):
+            self._table = table
+        else:
+            self._table = False
+
     def sample(self, t: float) -> None:
-        n = len(self._node_ids)
-        clocks = np.fromiter(
-            (read(t) for read in self._clock_readers), dtype=float, count=n
-        )
-        estimates = None
-        if self._needs_estimates:
-            estimates = np.fromiter(
-                (read(t) for read in self._estimate_readers), dtype=float, count=n
+        if self._table is None:
+            self._discover_table()
+        table = self._table
+        if table is not None and table is not False:
+            clocks = table.clock_column(t)
+            estimates = (
+                table.max_estimate_column(t) if self._needs_estimates else None
             )
+        else:
+            n = len(self._node_ids)
+            clocks = np.fromiter(
+                (read(t) for read in self._clock_readers), dtype=float, count=n
+            )
+            estimates = None
+            if self._needs_estimates:
+                estimates = np.fromiter(
+                    (read(t) for read in self._estimate_readers), dtype=float, count=n
+                )
         for monitor in self.monitors:
             monitor.on_sample(t, clocks, estimates)
         self.samples_seen += 1

@@ -46,6 +46,8 @@ __all__ = [
     "KIND_TOPOLOGY",
     "KIND_SAMPLE",
     "KIND_DISCOVER",
+    "KIND_DELIVER_BURST",
+    "KIND_TICK_BURST",
     "N_KINDS",
     "KIND_NAMES",
     "POOLABLE",
@@ -71,14 +73,34 @@ KIND_SAMPLE = 4
 #: Edge discovery notification.  Payload: ``a=node_id, b=other, c=added,
 #: d=absence(bool)`` (absence = the dedicated failed-send discovery path).
 KIND_DISCOVER = 5
+#: Aggregated same-timestamp message deliveries (batch kernel only; see
+#: :mod:`repro.core.batch`).  One record stands for ``e`` constituent
+#: deliveries sharing one delivery time: ``a=[u...], b=[v...], c=[payload...]``
+#: (parallel lists in send order), ``d=send_time``, ``e=cardinality``.  The
+#: dispatch handler accounts the constituents so ``events_dispatched`` and
+#: per-kind tallies match the equivalent individual-record execution.
+KIND_DELIVER_BURST = 6
+#: Aggregated same-deadline tick timers (batch kernel only; see
+#: :mod:`repro.core.batch`).  One record stands for the pending ``tick``
+#: timers of ``e`` drivers whose deadlines coincide (a rate class in
+#: lockstep): ``a=[driver...]`` in re-arm order, ``e=cardinality``.  Each
+#: constituent driver's ``_timers["tick"]`` aliases the group record.
+#: Creation relies on the invariant that nothing cancels a *pending* tick
+#: (the protocol core only ever cancels ``lost`` timers and nodes are
+#: never removed mid-run); the dispatch handler re-expands the cardinality
+#: into the dispatch tallies exactly like a delivery burst.
+KIND_TICK_BURST = 7
 
-N_KINDS = 6
+N_KINDS = 8
 
 #: Human-readable kind labels, indexed by kind tag (telemetry, debugging).
-KIND_NAMES = ("callback", "deliver", "timer", "topology", "sample", "discover")
+KIND_NAMES = (
+    "callback", "deliver", "timer", "topology", "sample", "discover",
+    "deliver_burst", "tick_burst",
+)
 
 #: Per-kind recycling eligibility, indexed by kind tag.
-POOLABLE = (False, True, True, True, True, True)
+POOLABLE = (False, True, True, True, True, True, True, True)
 
 
 class ScheduledEvent:
@@ -103,7 +125,12 @@ class ScheduledEvent:
         Zero-argument callable for ``KIND_CALLBACK`` records; the periodic
         callback ``fn(now)`` for ``KIND_SAMPLE``; ``None`` otherwise.
     a, b, c, d:
-        Kind-specific payload slots (see the ``KIND_*`` docs above).
+        Kind-specific payload slots (see the ``KIND_*`` docs above).  For
+        ``KIND_TIMER`` records ``c``, when not ``None``, is the timer's
+        *live deadline*: the batch kernel re-arms a repeating timer by
+        writing the new deadline here instead of cancel-plus-push, and the
+        queue re-inserts the record at ``c`` if the stale heap entry
+        surfaces first (see :meth:`repro.sim.queue.EventQueue.pop_until`).
     e:
         Observer side-channel slot (``None`` when unused).  ``KIND_DELIVER``
         records carry the open flight's trace span id here when causal
@@ -115,6 +142,13 @@ class ScheduledEvent:
         Whether the record is currently in the heap; maintained by the
         queue.  A record that is not queued cannot be cancelled (it already
         fired or was never pushed).
+    gen:
+        Pool generation counter, bumped by the queue every time a recycled
+        record is re-issued from the free list.  A caller that may hold a
+        handle across the record's dispatch captures ``(handle, handle.gen)``
+        and cancels with :meth:`EventQueue.cancel`'s ``gen=`` argument: if
+        the record was recycled and re-issued in the meantime, the stale
+        cancel returns ``False`` instead of killing the new event.
     """
 
     __slots__ = (
@@ -130,6 +164,7 @@ class ScheduledEvent:
         "e",
         "cancelled",
         "queued",
+        "gen",
         "label",
     )
 
@@ -160,6 +195,7 @@ class ScheduledEvent:
         self.e = e
         self.cancelled = False
         self.queued = False
+        self.gen = 0
         self.label = label
 
     @property

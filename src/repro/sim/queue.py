@@ -24,6 +24,17 @@ driver drops timer handles before cancellation/dispatch completes, and the
 other typed kinds never expose handles at all.  Lazy deletion keeps
 cancelled records in the heap until they surface; they join the free list
 only at that point, when no live reference can remain.
+
+**Lazy timer re-arm.**  A repeating timer that is re-armed on every message
+(the protocol's ``lost`` timers) would pay a cancel plus a fresh push per
+message.  Instead, a trusted caller (the batch kernel,
+:mod:`repro.core.batch`) may *extend* a live ``KIND_TIMER`` record by
+writing the new deadline into its ``c`` slot; the heap entry keeps its old
+position, and every pop path re-inserts the record at its real deadline if
+the stale entry surfaces first.  Equivalent to cancel-plus-push (a stale
+entry is never dispatched; the record fires once, at its final deadline)
+but O(1) per re-arm while messages keep arriving.  ``peek_time`` may
+report a stale (earlier) time; callers only use it as a lower bound.
 """
 
 from __future__ import annotations
@@ -31,7 +42,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Iterator
 
-from .events import KIND_CALLBACK, POOLABLE, ScheduledEvent
+from .events import KIND_CALLBACK, KIND_TIMER, POOLABLE, ScheduledEvent
 
 __all__ = ["EventQueue"]
 
@@ -125,6 +136,7 @@ class EventQueue:
             ev.d = d
             ev.e = e
             ev.cancelled = False
+            ev.gen += 1
             ev.label = label
         else:
             self.allocations += 1
@@ -158,7 +170,7 @@ class EventQueue:
     # Cancellation
     # ------------------------------------------------------------------ #
 
-    def cancel(self, event: ScheduledEvent) -> bool:
+    def cancel(self, event: ScheduledEvent, gen: int | None = None) -> bool:
         """Cancel a previously pushed event.
 
         Returns ``True`` if the event was queued and live and is now
@@ -166,8 +178,18 @@ class EventQueue:
         fired (popping an event removes it from the queue, so a handle that
         already fired cannot be cancelled -- callers that re-arm timers
         always hold the freshest handle).
+
+        ``gen`` guards against pool aliasing: a poolable record that fired
+        can be recycled and re-issued to an unrelated caller, at which point
+        a stale handle from its previous life would pass the ``queued``
+        check and kill the *new* event.  Callers that cannot guarantee
+        their handle is fresh capture ``handle.gen`` at push time and pass
+        it here; a generation mismatch means the handle is stale and the
+        cancel is refused.
         """
         if event.cancelled or not event.queued:
+            return False
+        if gen is not None and event.gen != gen:
             return False
         event.cancelled = True
         self._live -= 1
@@ -186,19 +208,29 @@ class EventQueue:
 
     def pop(self) -> ScheduledEvent | None:
         """Remove and return the next live event (``None`` when empty)."""
-        self._drop_cancelled()
-        if not self._heap:
-            return None
-        ev = heapq.heappop(self._heap)[3]
-        ev.queued = False
-        self._live -= 1
-        return ev
+        heap = self._heap
+        while True:
+            self._drop_cancelled()
+            if not heap:
+                return None
+            entry = heap[0]
+            ev = entry[3]
+            if ev.kind == KIND_TIMER:
+                deadline = ev.c
+                if deadline is not None and deadline > entry[0]:
+                    self._reinsert_at_deadline(entry, deadline)
+                    continue
+            heapq.heappop(heap)
+            ev.queued = False
+            self._live -= 1
+            return ev
 
     def pop_until(self, t_end: float) -> ScheduledEvent | None:
         """Pop the next live event with ``time <= t_end`` (else ``None``).
 
-        One heap pass: cancelled heads are dropped (and recycled) along the
-        way.  This is the kernel's hot retrieval path.
+        One heap pass: cancelled heads are dropped (and recycled) and
+        lazily-extended timers are re-inserted at their real deadline along
+        the way.  This is the kernel's hot retrieval path.
         """
         heap = self._heap
         free = self._free
@@ -213,6 +245,18 @@ class EventQueue:
                     ev.fn = ev.a = ev.b = ev.c = ev.d = ev.e = None
                     free.append(ev)
                 continue
+            if ev.kind == KIND_TIMER:
+                deadline = ev.c
+                if deadline is not None and deadline > entry[0]:
+                    # Lazily-extended timer: move to its real deadline
+                    # (inlined _reinsert_at_deadline; this is the hot path).
+                    heapq.heappop(heap)
+                    seq = self._seq
+                    self._seq = seq + 1
+                    ev.time = deadline
+                    ev.seq = seq
+                    heapq.heappush(heap, (deadline, entry[1], seq, ev))
+                    continue
             if entry[0] > t_end:
                 return None
             heapq.heappop(heap)
@@ -220,6 +264,92 @@ class EventQueue:
             self._live -= 1
             return ev
         return None
+
+    def pop_run(
+        self, first: ScheduledEvent, out: list[ScheduledEvent]
+    ) -> int:
+        """Pop the *run* of records that sort with ``first`` (batch dispatch).
+
+        ``first`` must be the record just returned by :meth:`pop_until`.
+        The run is the contiguous heap prefix of live records sharing
+        ``first``'s ``(time, priority, kind)``; cancelled heads inside the
+        prefix are dropped and recycled exactly as :meth:`pop_until` would.
+        A head with a different kind (even at equal time/priority) ends the
+        run -- the batch never reorders records across kinds.
+
+        When at least one continuation record exists, ``first`` and the
+        continuation are appended to ``out`` (in heap = scalar dispatch
+        order) and the total run length is returned.  When the run is a
+        singleton, ``out`` is untouched and ``0`` is returned so the caller
+        can take the scalar path with no extra cost.
+
+        Pre-popping is only sound if no handler invoked for the run cancels
+        or reorders a record *inside* the run; the kernel only registers
+        batch handlers for kinds where that is proven (see
+        :meth:`repro.sim.simulator.Simulator.set_batch_handler`).
+        """
+        heap = self._heap
+        if not heap:
+            return 0
+        time = first.time
+        priority = first.priority
+        kind = first.kind
+        free = self._free
+        poolable = POOLABLE
+        count = 0
+        while heap:
+            entry = heap[0]
+            if entry[0] != time or entry[1] != priority:
+                break
+            ev = entry[3]
+            if ev.cancelled:
+                heapq.heappop(heap)
+                ev.queued = False
+                if poolable[ev.kind] and len(free) < _POOL_CAP:
+                    ev.fn = ev.a = ev.b = ev.c = ev.d = ev.e = None
+                    free.append(ev)
+                continue
+            if ev.kind == KIND_TIMER:
+                deadline = ev.c
+                if deadline is not None and deadline > entry[0]:
+                    # Inlined _reinsert_at_deadline (hot path; see pop_until).
+                    heapq.heappop(heap)
+                    rseq = self._seq
+                    self._seq = rseq + 1
+                    ev.time = deadline
+                    ev.seq = rseq
+                    heapq.heappush(heap, (deadline, entry[1], rseq, ev))
+                    continue
+            if ev.kind != kind:
+                break
+            if count == 0:
+                out.append(first)
+            heapq.heappop(heap)
+            ev.queued = False
+            self._live -= 1
+            out.append(ev)
+            count += 1
+        return count + 1 if count else 0
+
+    def _reinsert_at_deadline(
+        self,
+        entry: tuple[float, int, int, ScheduledEvent],
+        deadline: float,
+    ) -> None:
+        """Move a lazily-extended timer head to its real deadline.
+
+        The record stays queued and live throughout; it receives a fresh
+        ``seq`` exactly as a cancel-plus-push re-arm would have at extension
+        time (extension order equals surfacing order within a tie class, so
+        relative ordering is preserved -- see the module docstring).
+        """
+        heapq.heappop(self._heap)
+        ev = entry[3]
+        seq = self._seq
+        self._seq = seq + 1
+        ev.time = deadline
+        ev.seq = seq
+        heapq.heappush(self._heap, (deadline, entry[1], seq, ev))
 
     def recycle(self, ev: ScheduledEvent) -> None:
         """Return a dispatched poolable record to the free list.
@@ -232,6 +362,21 @@ class EventQueue:
         if len(self._free) < _POOL_CAP:
             ev.fn = ev.a = ev.b = ev.c = ev.d = ev.e = None
             self._free.append(ev)
+
+    def recycle_all(self, records: list[ScheduledEvent]) -> None:
+        """Bulk :meth:`recycle` for a just-dispatched batch run.
+
+        One call per run instead of one per record keeps the kernel's
+        batch loop free of per-record method-call overhead.
+        """
+        free = self._free
+        poolable = POOLABLE
+        for ev in records:
+            if ev.queued or not poolable[ev.kind]:
+                continue
+            if len(free) < _POOL_CAP:
+                ev.fn = ev.a = ev.b = ev.c = ev.d = ev.e = None
+                free.append(ev)
 
     def live_events(self) -> "Iterator[ScheduledEvent]":
         """Iterate the still-queued, non-cancelled records (heap order).
@@ -258,5 +403,5 @@ class EventQueue:
             ev = heapq.heappop(heap)[3]
             ev.queued = False
             if POOLABLE[ev.kind] and len(free) < _POOL_CAP:
-                ev.fn = ev.a = ev.b = ev.c = ev.d = None
+                ev.fn = ev.a = ev.b = ev.c = ev.d = ev.e = None
                 free.append(ev)

@@ -26,6 +26,7 @@ docs/performance.md for the kernel design rationale and scaling numbers).
 
 from __future__ import annotations
 
+import os
 from typing import TYPE_CHECKING, Any, Callable
 
 from .events import (
@@ -44,10 +45,23 @@ from .tracing import NULL_TRACE, TraceRecorder
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checking
     from ..telemetry.registry import MetricsRegistry
 
-__all__ = ["Simulator", "SimulationError"]
+__all__ = ["Simulator", "SimulationError", "BATCH_DEFAULT"]
 
 #: Kernel dispatch handler: receives the popped record.
 Handler = Callable[[ScheduledEvent], None]
+
+#: Batch dispatch handler: receives a pre-popped run of >= 2 records that
+#: share ``(time, priority, kind)``, in scalar dispatch order.
+BatchHandler = Callable[[list[ScheduledEvent]], None]
+
+#: Process-wide default for :class:`Simulator`'s ``batch`` flag.  The batch
+#: execution path is bit-identical to scalar dispatch (pinned by the parity
+#: tests), so it defaults on; set the environment variable ``REPRO_BATCH=0``
+#: to force the scalar kernel (e.g. when bisecting a suspected batch bug).
+#: This is deliberately *not* an :class:`~repro.harness.runner.ExperimentConfig`
+#: field: config dicts are sweep-cache identities and the two paths produce
+#: identical results by contract.
+BATCH_DEFAULT = os.environ.get("REPRO_BATCH", "1") != "0"
 
 
 class SimulationError(RuntimeError):
@@ -79,8 +93,11 @@ class Simulator:
         "trace",
         "max_events",
         "events_dispatched",
+        "batch",
+        "batch_dispatches",
         "subsystems",
         "_handlers",
+        "_batch_handlers",
         "kind_counts",
     )
 
@@ -88,17 +105,26 @@ class Simulator:
         self,
         trace: TraceRecorder | None = None,
         max_events: int = 50_000_000,
+        *,
+        batch: bool | None = None,
     ) -> None:
         self.now = 0.0
         self.queue = EventQueue()
         self.trace = trace if trace is not None else NULL_TRACE
         self.max_events = max_events
         self.events_dispatched = 0
+        #: Whether subsystems may register batch handlers (see
+        #: :meth:`set_batch_handler`); resolved from :data:`BATCH_DEFAULT`
+        #: when ``None``.
+        self.batch = BATCH_DEFAULT if batch is None else batch
+        #: Number of pre-popped runs dispatched through a batch handler.
+        self.batch_dispatches = 0
         self.subsystems: dict[str, Any] = {}
         handlers: list[Handler | None] = [None] * N_KINDS
         handlers[KIND_SAMPLE] = self._handle_sample
         handlers[KIND_TOPOLOGY] = self._handle_topology
         self._handlers = handlers
+        self._batch_handlers: list[BatchHandler | None] = [None] * N_KINDS
         #: Per-kind dispatch tally, allocated by :meth:`instrument`; the hot
         #: loop pays a single ``is not None`` check while telemetry is off
         #: (same discipline as the ``NULL_TRACE`` guard).
@@ -123,6 +149,9 @@ class Simulator:
 
         for kind, name in enumerate(KIND_NAMES):
             registry.counter_fn(f"kernel.dispatched.{name}", _kind_reader(kind))
+        registry.counter_fn(
+            "kernel.batch_dispatches", lambda: self.batch_dispatches
+        )
         queue = self.queue
         registry.counter_fn("kernel.record_pushes", lambda: queue.pushes)
         registry.counter_fn("kernel.record_allocations", lambda: queue.allocations)
@@ -152,6 +181,38 @@ class Simulator:
                 "one subsystem per kind per simulator"
             )
         self._handlers[kind] = handler
+
+    def set_batch_handler(self, kind: int, handler: BatchHandler) -> None:
+        """Register a *batch* dispatch handler for a typed event ``kind``.
+
+        When registered (and :attr:`batch` is true), :meth:`run_until`
+        pre-pops every maximal run of >= 2 records sharing
+        ``(time, priority, kind)`` (see :meth:`EventQueue.pop_run`) and
+        hands the whole run to ``handler`` instead of dispatching record by
+        record.  The handler owns parity: it must leave every observable --
+        node state, queue pushes and their relative order per tie-class,
+        RNG draws, stats -- exactly as the scalar handler would, falling
+        back to a record-by-record loop whenever it cannot guarantee that.
+
+        Pre-popping is only sound for kinds whose handlers never cancel a
+        record that can share the run (deliveries only cancel lost *timers*,
+        a different priority class; timer handlers cancel nothing that is
+        still queued) and never push a record that would sort *inside* the
+        run (pushed records take fresh, higher ``seq`` values; the
+        registering subsystem must rule out same-time pushes at lower
+        priority, e.g. zero-delay sends during a timer run).  Registration
+        follows the same one-handler-per-kind discipline as
+        :meth:`set_handler`.
+        """
+        if not 0 <= kind < N_KINDS or kind == KIND_CALLBACK:
+            raise SimulationError(f"invalid batch handler kind {kind!r}")
+        existing = self._batch_handlers[kind]
+        if existing is not None and existing != handler:
+            raise SimulationError(
+                f"kind {kind} already has a batch handler ({existing!r}); "
+                "one subsystem per kind per simulator"
+            )
+        self._batch_handlers[kind] = handler
 
     # ------------------------------------------------------------------ #
     # Scheduling
@@ -216,9 +277,13 @@ class Simulator:
             )
         return self.queue.push_typed(time, priority, kind, a, b, c, d, fn, label)
 
-    def cancel(self, event: ScheduledEvent) -> bool:
-        """Cancel a scheduled event (returns whether it was still live)."""
-        return self.queue.cancel(event)
+    def cancel(self, event: ScheduledEvent, gen: int | None = None) -> bool:
+        """Cancel a scheduled event (returns whether it was still live).
+
+        Pass ``gen`` (captured from ``event.gen`` at push time) when the
+        handle may be stale -- see :meth:`EventQueue.cancel`.
+        """
+        return self.queue.cancel(event, gen)
 
     # ------------------------------------------------------------------ #
     # Execution
@@ -280,21 +345,42 @@ class Simulator:
         # the single-step definition for callers that need it).
         queue = self.queue
         pop_until = queue.pop_until
+        pop_run = queue.pop_run
         recycle = queue.recycle
+        recycle_all = queue.recycle_all
         handlers = self._handlers
+        batch_handlers = self._batch_handlers if self.batch else [None] * N_KINDS
         max_events = self.max_events
         kind_counts = self.kind_counts
+        run_buf: list[ScheduledEvent] = []
         while True:
             ev = pop_until(t_end)
             if ev is None:
                 break
             self.now = ev.time
+            kind = ev.kind
+            batch_handler = batch_handlers[kind]
+            if batch_handler is not None:
+                count = pop_run(ev, run_buf)
+                if count:
+                    self.events_dispatched += count
+                    if self.events_dispatched > max_events:
+                        raise SimulationError(
+                            f"exceeded max_events={max_events}; "
+                            "runaway simulation?"
+                        )
+                    if kind_counts is not None:
+                        kind_counts[kind] += count
+                    self.batch_dispatches += 1
+                    batch_handler(run_buf)
+                    recycle_all(run_buf)
+                    run_buf.clear()
+                    continue
             self.events_dispatched += 1
             if self.events_dispatched > max_events:
                 raise SimulationError(
                     f"exceeded max_events={max_events}; runaway simulation?"
                 )
-            kind = ev.kind
             if kind_counts is not None:
                 kind_counts[kind] += 1
             if kind == KIND_CALLBACK:

@@ -57,7 +57,11 @@ def follow_frames(fh: TextIO, *, validate: bool = True) -> Iterator[dict[str, An
     position for the next call, so tailing a live file never tears frames.
     If the file shrank below our position (truncate-in-place rotation, as
     done by log rotators and by a writer reopening with ``"w"``), the tail
-    restarts from offset 0 instead of silently waiting forever.
+    restarts from offset 0 instead of silently waiting forever.  A
+    *complete* line that fails to parse as JSON -- the torn remainder a
+    rotation race can leave mid-file when the writer truncates between our
+    reads -- is skipped rather than raised, so the tail resumes at the
+    next valid frame.
     """
     while True:
         pos = fh.tell()
@@ -74,7 +78,10 @@ def follow_frames(fh: TextIO, *, validate: bool = True) -> Iterator[dict[str, An
             return
         if not line.strip():
             continue
-        frame = json.loads(line)
+        try:
+            frame = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # Torn frame from a rotation race: skip, resume after.
         if validate:
             validate_frame(frame)
         yield frame

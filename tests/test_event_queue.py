@@ -252,6 +252,77 @@ class TestTypedRecords:
         assert q.pop_until(5.0) is c
 
 
+class TestGenerationGuard:
+    """Pool-aliasing regression: stale handles must not kill new events."""
+
+    def test_stale_cancel_of_recycled_record_returns_false(self):
+        q = EventQueue()
+        ev = q.push_typed(1.0, PRIORITY_TIMER, KIND_TIMER, "node", "key")
+        stale = (ev, ev.gen)  # caller captures (handle, generation)
+        assert q.pop() is ev
+        q.recycle(ev)
+        # The pool re-issues the same object to an unrelated caller.
+        again = q.push_typed(2.0, PRIORITY_TIMER, KIND_TIMER, "other", "k2")
+        assert again is ev
+        assert again.gen == stale[1] + 1
+        # The stale handle passes the `queued` check -- only the
+        # generation guard tells the two lives apart.
+        assert q.cancel(stale[0], gen=stale[1]) is False
+        assert not again.cancelled
+        assert q.pop() is again  # the new event still fires
+
+    def test_fresh_gen_cancel_still_works(self):
+        q = EventQueue()
+        ev = q.push_typed(1.0, PRIORITY_TIMER, KIND_TIMER, "n", "k")
+        assert q.cancel(ev, gen=ev.gen) is True
+        assert q.pop() is None
+
+    def test_gen_survives_multiple_reissues(self):
+        q = EventQueue()
+        ev = q.push_typed(1.0, 0, KIND_TIMER, "n", "k")
+        gens = [ev.gen]
+        for t in (2.0, 3.0, 4.0):
+            assert q.pop() is ev
+            q.recycle(ev)
+            assert q.push_typed(t, 0, KIND_TIMER, "n", "k") is ev
+            gens.append(ev.gen)
+        assert gens == sorted(set(gens))  # strictly increasing
+        for g in gens[:-1]:
+            assert q.cancel(ev, gen=g) is False
+        assert q.cancel(ev, gen=gens[-1]) is True
+
+
+class TestLazyDeadline:
+    """The batch kernel's in-place timer re-arm (deadline slot ``c``)."""
+
+    def test_stale_head_reinserted_at_live_deadline(self):
+        q = EventQueue()
+        ev = q.push_typed(1.0, PRIORITY_TIMER, KIND_TIMER, "n", "k", 1.0)
+        marker = q.push_typed(2.0, PRIORITY_TIMER, KIND_TIMER, "n", "m", 2.0)
+        ev.c = 3.0  # re-armed in place: deadline now beyond the heap entry
+        assert q.pop() is marker  # stale head skipped and re-filed
+        got = q.pop()
+        assert got is ev
+        assert got.time == 3.0
+        assert q.pop() is None
+
+    def test_pop_until_defers_rearmed_record(self):
+        q = EventQueue()
+        ev = q.push_typed(1.0, PRIORITY_TIMER, KIND_TIMER, "n", "k", 1.0)
+        ev.c = 5.0
+        assert q.pop_until(2.0) is None  # nothing fires before the deadline
+        assert len(q) == 1  # still live, now filed at t=5
+        assert q.pop_until(5.0) is ev
+
+    def test_cancelled_rearmed_record_never_fires(self):
+        q = EventQueue()
+        ev = q.push_typed(1.0, PRIORITY_TIMER, KIND_TIMER, "n", "k", 1.0)
+        ev.c = 4.0
+        assert q.cancel(ev) is True
+        assert q.pop() is None
+        assert q.pool_size == 1  # recycled when the stale entry surfaced
+
+
 # ------------------------------------------------------------------ #
 # Property tests over generated op scripts (repro.testing.strategies)
 # ------------------------------------------------------------------ #

@@ -255,6 +255,29 @@ class TestFlightRecorder:
             got = list(follow_frames(fh))
             assert [f["seq"] for f in got] == [0]
 
+    def test_follow_frames_skips_torn_mid_file_frame(self, tmp_path):
+        """A rotation race can leave a *complete* line of garbage mid-file.
+
+        Unlike a partial tail (no newline yet -- buffered and retried),
+        a torn line that did get its newline will never become valid
+        JSON.  The reader must skip it and resume at the next frame
+        rather than raise out of the tail loop.
+        """
+        path = tmp_path / "m.jsonl"
+        a, b = _valid_frame(), _valid_frame()
+        a["seq"], b["seq"] = 0, 1
+        torn = json.dumps(_valid_frame())[: 20] + "}garbage"
+        path.write_text(
+            json.dumps(a) + "\n" + torn + "\n" + json.dumps(b) + "\n"
+        )
+        with open(path, "r", encoding="utf-8") as fh:
+            got = list(follow_frames(fh))
+            assert [f["seq"] for f in got] == [0, 1]
+            # The tail position is past the torn region: appends flow.
+            with open(path, "a", encoding="utf-8") as wfh:
+                wfh.write(json.dumps(_valid_frame()) + "\n")
+            assert len(list(follow_frames(fh))) == 1
+
     def test_follow_frames_truncation_with_buffered_partial_tail(self, tmp_path):
         path = tmp_path / "m.jsonl"
         big = _valid_frame()

@@ -187,16 +187,65 @@ class TestSimTracing:
         assert sum(by_status.values()) == st["sent"]
         assert table.dropped == 0
         assert by_status[STATUS_DONE] == st["delivered"]
-        # Dropped = send-time failures + in-flight drops; the remainder
-        # (patched by Transport.finalize_tracing) was still in the air.
+        # Dropped >= send-time failures + in-flight drops: messages the
+        # horizon caught mid-flight over an already-failed edge are doomed
+        # and finalize_tracing closes them DROPPED too; only genuinely
+        # live flights stay PENDING.
         assert (
             by_status[STATUS_DROPPED]
-            == st["dropped_no_edge"] + st["dropped_removed"]
+            >= st["dropped_no_edge"] + st["dropped_removed"]
         )
-        assert by_status[STATUS_PENDING] == (
+        assert by_status[STATUS_PENDING] + by_status[STATUS_DROPPED] == (
             st["sent"] - st["delivered"]
-            - st["dropped_no_edge"] - st["dropped_removed"]
         )
+
+    def test_mid_flight_edge_removal_closes_span_dropped(self):
+        """A flight whose edge churns away mid-air must export DROPPED.
+
+        Regression: ``finalize_tracing`` used to re-mark every still-queued
+        delivery PENDING; for a destination removed before the horizon the
+        flight then pointed at a track that may not exist in the Perfetto
+        export.  The doomed flight (the delivery-time check would drop it
+        anyway) must instead be closed ``STATUS_DROPPED`` at the horizon.
+        """
+        from repro.network.channels import ConstantDelay
+        from repro.network.discovery import ConstantDiscovery
+        from repro.network.graph import DynamicGraph
+        from repro.network.transport import Transport
+        from repro.sim.simulator import Simulator
+
+        sim = Simulator()
+        graph = DynamicGraph(range(2), [(0, 1)])
+        transport = Transport(
+            sim,
+            graph,
+            delay_policy=ConstantDelay(1.0),
+            discovery_policy=ConstantDiscovery(0.5),
+            max_delay=2.0,
+            discovery_bound=2.0,
+        )
+        tracer = Tracer()
+        transport.attach_tracer(tracer)
+        transport.send(0, 1, "payload")  # delivery due at t=1.0
+        table = tracer.table
+        (sid,) = [i for i in range(len(table)) if table.kind[i] == SPAN_FLIGHT]
+        # Optimistically closed DONE at send time (the common case).
+        assert table.status[sid] == STATUS_DONE
+        graph.remove_edge(0, 1, 0.4)  # churn strikes mid-flight
+        sim.run_until(0.5)  # horizon before the delivery time
+        transport.finalize_tracing()
+        assert table.status[sid] == STATUS_DROPPED
+        assert table.t1[sid] == 0.5  # closed at the horizon, not left open
+        # The export stays self-consistent: no span lost, ph/ts everywhere.
+        events = chrome_trace_events(table)
+        assert all("ph" in e and "ts" in e for e in events)
+        # A genuinely live flight (edge intact) still finalizes PENDING.
+        graph.add_edge(0, 1, 0.5)
+        transport.send(0, 1, "payload2")
+        transport.finalize_tracing()
+        flights = [i for i in range(len(table)) if table.kind[i] == SPAN_FLIGHT]
+        assert table.status[flights[-1]] == STATUS_PENDING
+        assert table.status[sid] == STATUS_DROPPED  # first verdict sticks
 
     def test_dag_has_parented_spans(self):
         with trace_session() as tr:
