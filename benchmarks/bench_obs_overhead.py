@@ -1,0 +1,139 @@
+"""Experiment: skew-timeline capture overhead on the flagship workload.
+
+PR 9's observatory hooks :meth:`StreamingOracle.sample`: at every oracle
+sample the ambient :class:`~repro.obs.timeline.TimelineRecorder` appends
+one row built from the oracle's *already computed* clock and estimate
+columns, plus a vectorised envelope evaluation over the live-edge table.
+The design contract is that capture is (a) bit-identical -- the recorder
+draws no RNG and schedules nothing -- and (b) cheap: a captured run must
+stay within 5% of the capture-free wall clock on ``huge_ring`` at
+production scale *with the oracle armed in both arms*, so the measured
+delta is the timeline's own cost, not the oracle's.
+
+**Measurement protocol** (same as ``bench_trace_overhead``): wall clocks
+on shared machines drift by tens of percent over seconds, so each
+captured run is paired with an immediately preceding capture-free run
+and the reported overhead is the median of the paired ratios, with a
+full garbage collection before every timed run.  Runs execute inline,
+never through the sweep cache.
+"""
+
+from __future__ import annotations
+
+import gc
+import statistics
+import time
+
+from repro.analysis import TextTable
+from repro.harness import OracleRef, configs, run_experiment
+from repro.obs import timeline_session
+
+from _common import emit, run_once, write_bench_json
+
+N = 512
+HORIZON = 30.0
+SEED = 1
+#: Acceptance budget: captured wall-clock within 5% of capture-free.
+MAX_OVERHEAD = 0.05
+#: Interleaved (plain, captured) pairs; overhead = median of ratios.
+PAIRS = 9
+
+
+def _make_config():
+    cfg = configs.huge_ring(N, horizon=HORIZON, seed=SEED)
+    # Oracle armed in BOTH arms: the timeline records at the oracle's
+    # sample cadence, so without it there is nothing to measure -- and
+    # with it in one arm only, the diff would be the oracle's cost.
+    cfg.oracle = OracleRef("standard", {})
+    return cfg
+
+
+def _run_overhead() -> tuple[str, bool, dict]:
+    run_experiment(_make_config())  # warmup: imports, allocator, caches
+
+    ratios: list[float] = []
+    base_times: list[float] = []
+    captured_times: list[float] = []
+    base = captured = recorder = None
+    for _ in range(PAIRS):
+        gc.collect()
+        t0 = time.perf_counter()
+        base = run_experiment(_make_config())
+        base_times.append(time.perf_counter() - t0)
+        gc.collect()
+        with timeline_session() as tl:
+            t0 = time.perf_counter()
+            captured = run_experiment(_make_config())
+            captured_times.append(time.perf_counter() - t0)
+            recorder = tl
+        ratios.append(captured_times[-1] / max(base_times[-1], 1e-9))
+    assert base is not None and captured is not None and recorder is not None
+    overhead = statistics.median(ratios) - 1.0
+
+    # Neutrality spot-check: identical physics and verdicts either way.
+    base_report = base.oracle_report
+    cap_report = captured.oracle_report
+    assert base_report is not None and cap_report is not None
+    identical = (
+        base.events_dispatched == captured.events_dispatched
+        and base.total_jumps() == captured.total_jumps()
+        and base.transport_stats == captured.transport_stats
+        and base_report.checks == cap_report.checks
+        and base_report.worst_margin == cap_report.worst_margin
+    )
+    # And capture really happened: one row per oracle sample, none lost
+    # to decimation at this horizon.
+    rows = recorder.rows
+    accounted = rows > 0 and recorder.stride == 1
+
+    within_budget = overhead <= MAX_OVERHEAD
+    ok = within_budget and identical and accounted
+
+    base_med = statistics.median(base_times)
+    cap_med = statistics.median(captured_times)
+    table = TextTable(
+        ["mode", "median s", "events/sec", "rows"],
+        title=(
+            f"timeline overhead: huge_ring n={N} horizon={HORIZON} "
+            f"oracle armed ({PAIRS} interleaved pairs; "
+            f"budget {MAX_OVERHEAD:.0%})"
+        ),
+    )
+    table.add_row(
+        ["oracle only", f"{base_med:.3f}",
+         round(base.events_dispatched / max(base_med, 1e-9)), "-"]
+    )
+    table.add_row(
+        ["oracle + timeline", f"{cap_med:.3f}",
+         round(captured.events_dispatched / max(cap_med, 1e-9)), rows]
+    )
+    txt = table.render() + (
+        f"\noverhead (median of paired ratios): {overhead:+.2%} "
+        f"(budget {MAX_OVERHEAD:.0%}) -- "
+        f"{'PASS' if within_budget else 'FAIL'}; "
+        f"physics identical: {identical}; "
+        f"{rows} timeline rows at stride {recorder.stride}\n"
+    )
+    payload = {
+        "n": N,
+        "horizon": HORIZON,
+        "pairs": PAIRS,
+        "paired_ratios": [round(r, 4) for r in ratios],
+        "plain_seconds": base_med,
+        "captured_seconds": cap_med,
+        "overhead": overhead,
+        "overhead_budget": MAX_OVERHEAD,
+        "events_dispatched": base.events_dispatched,
+        "timeline_rows": rows,
+        "timeline_stride": recorder.stride,
+        "identical_physics": identical,
+        "ok": ok,
+    }
+    return txt, ok, payload
+
+
+def test_bench_obs_overhead(benchmark):
+    txt, ok, payload = run_once(benchmark, _run_overhead)
+    emit("obs_overhead", txt)
+    write_bench_json("obs_overhead", payload)
+    assert ok, "timeline capture must stay neutral and within the 5% budget"

@@ -8,11 +8,18 @@ such artifacts -- typically the checked-in/baseline one against a freshly
 generated one -- and exits non-zero when a *directional* metric moved the
 wrong way by more than the threshold:
 
-* metrics whose name ends in ``seconds``, ``overhead``, ``dropped`` or
-  ``lost`` are better **lower**;
-* metrics whose name contains ``per_sec`` are better **higher**;
+* metrics whose name ends in ``seconds``, ``overhead``, ``dropped``,
+  ``lost`` or ``violations`` are better **lower**;
+* metrics whose name contains ``per_sec``, or is an oracle margin
+  (``worst_margin``, ``margin_<monitor>`` -- but not the informational
+  ``margin_time_*`` timestamps), are better **higher**;
 * boolean metrics regress when they flip ``true -> false``;
 * everything else is informational (reported, never failing).
+
+Cross-run **ledger records** (``benchmarks/.ledger/<run_id>.json``,
+written by ``repro run/check/live --bundle``) are accepted in either
+position and adapted on load: the ledger's workload becomes the bench
+name, so two records compare only when they ran the same workload.
 
 Artifacts from different benchmarks never compare; artifacts from
 different package versions refuse to compare unless
@@ -37,9 +44,12 @@ import sys
 from typing import Any, Iterator
 
 #: Metric-name suffixes where a lower value is an improvement.
-LOWER_IS_BETTER = ("seconds", "overhead", "dropped", "lost")
+LOWER_IS_BETTER = ("seconds", "overhead", "dropped", "lost", "violations")
 #: Metric-name fragments where a higher value is an improvement.
 HIGHER_IS_BETTER = ("per_sec",)
+
+#: Ledger-record fields that are identity/timestamps, not metrics.
+_LEDGER_SKIP = ("run_id", "recorded_unix", "bundle_path", "ledger_version")
 
 
 def flatten(value: Any, prefix: str = "") -> Iterator[tuple[str, Any]]:
@@ -58,10 +68,14 @@ def flatten(value: Any, prefix: str = "") -> Iterator[tuple[str, Any]]:
 def direction(path: str) -> int:
     """-1 = lower is better, +1 = higher is better, 0 = informational."""
     leaf = path.rsplit(".", 1)[-1]
+    if leaf.startswith("margin_time_"):
+        return 0  # *when* the margin tightened is context, not quality
     if any(leaf.endswith(suffix) for suffix in LOWER_IS_BETTER):
         return -1
     if any(frag in leaf for frag in HIGHER_IS_BETTER):
         return 1
+    if leaf.startswith("margin_") or leaf.endswith("worst_margin"):
+        return 1  # slack against a theorem bound: shrinking is regressing
     return 0
 
 
@@ -118,12 +132,25 @@ def compare(
     }
 
 
+def _adapt_ledger(record: dict[str, Any]) -> dict[str, Any]:
+    """Reshape a ledger record into the BENCH artifact shape.
+
+    The workload becomes the bench name, so two records only compare
+    when they ran the same workload; identity/timestamp fields drop out.
+    """
+    adapted = {k: v for k, v in record.items() if k not in _LEDGER_SKIP}
+    adapted["bench"] = f"ledger:{record.get('workload')}"
+    return adapted
+
+
 def _load(path: str) -> dict[str, Any]:
     try:
         with open(path, encoding="utf-8") as fh:
             data = json.load(fh)
     except (OSError, ValueError) as exc:
         raise SystemExit(f"error: cannot read {path}: {exc}")
+    if isinstance(data, dict) and "ledger_version" in data:
+        return _adapt_ledger(data)
     if not isinstance(data, dict) or "bench" not in data:
         raise SystemExit(f"error: {path} is not a BENCH_*.json artifact")
     return data

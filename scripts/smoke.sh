@@ -98,6 +98,38 @@ if top["kind"] != "causal_chain" or top["data"]["masked_count"] < 1:
     sys.exit(f"FAIL: adversary not attributed: {top}")
 '
 
+echo "== run bundle + observatory + ledger =="
+# A bundled run must leave a schema-valid bundle, a ledger record, and a
+# self-contained HTML report whose embedded JSON round-trips through the
+# bundle validator (docs/observability.md).
+python -m repro run large_ring --set n=16 horizon=30 \
+    --bundle "$store/bundle" --ledger "$store/ledger" --json > /dev/null
+python -m repro report "$store/bundle" -o "$store/report.html" > /dev/null
+python -c '
+import json, re, sys
+from repro.obs import load_bundle, validate_bundle
+html = open(sys.argv[1], encoding="utf-8").read()
+match = re.search(
+    r"<script type=\"application/json\" id=\"bundle-data\">(.*?)</script>",
+    html, re.S)
+if not match:
+    sys.exit("FAIL: no embedded bundle JSON in report")
+embedded = json.loads(match.group(1))
+validate_bundle(embedded)
+if embedded != load_bundle(sys.argv[2]):
+    sys.exit("FAIL: embedded JSON does not match the bundle on disk")
+if embedded["timeline"]["rows"] <= 0:
+    sys.exit("FAIL: bundled run captured no timeline rows")
+' "$store/report.html" "$store/bundle"
+python -m repro history --ledger "$store/ledger" --json | python -c '
+import json, sys
+records = json.load(sys.stdin)["records"]
+if len(records) != 1:
+    sys.exit(f"FAIL: expected 1 ledger record, got {len(records)}")
+if records[0]["oracle_ok"] is not True:
+    sys.exit(f"FAIL: smoke ledger record not oracle_ok: {records[0]}")
+'
+
 echo "== streaming conformance oracle =="
 python -m repro check static_ring --set n=6 horizon=20
 # A deliberately broken bound must exit with exactly 1 (violation

@@ -1,7 +1,7 @@
 """Command-line interface: ``python -m repro`` (or the ``repro`` script).
 
-Nine subcommands drive the sweep, conformance, live, telemetry and
-tracing subsystems from the shell (plus ``--version``):
+Twelve subcommands drive the sweep, conformance, live, telemetry,
+tracing and observatory subsystems from the shell (plus ``--version``):
 
 ``run WORKLOAD``
     Execute one named workload once and print its summary (events,
@@ -9,9 +9,10 @@ tracing subsystems from the shell (plus ``--version``):
     cProfile and prints the top cumulative entries -- the standard tool
     for kernel performance work (see docs/performance.md).  ``--metrics
     out.jsonl`` streams flight-recorder frames while the run executes,
-    ``--stats`` prints the end-of-run telemetry table, and ``--trace-out
-    t.json`` exports the run's causal spans as Chrome-trace/Perfetto JSON
-    (see docs/observability.md).
+    ``--stats`` prints the end-of-run telemetry table, ``--trace-out
+    t.json`` exports the run's causal spans as Chrome-trace/Perfetto
+    JSON, and ``--bundle DIR`` captures the skew timeline and writes a
+    run bundle + ledger record (see docs/observability.md).
 
 ``sweep WORKLOAD``
     Expand a named workload from :data:`repro.harness.configs.WORKLOADS`
@@ -45,7 +46,24 @@ tracing subsystems from the shell (plus ``--version``):
 ``top PATH``
     Render a telemetry metrics file (``--metrics`` output) as a terminal
     dashboard: the final frame one-shot, or ``--follow`` to tail a file
-    that an in-progress run is still appending to.
+    that an in-progress run is still appending to.  Pointing it at a
+    ``sweep --metrics-dir`` directory renders a per-point table instead.
+
+``report BUNDLE``
+    Render a run bundle (``run``/``live``/``check --bundle DIR``) as a
+    single self-contained HTML observatory: skew-field heatmap, observed
+    local skew against the Cor. 6.13 envelope with violation markers
+    linked to cause reports, telemetry sparklines (:mod:`repro.obs`).
+
+``history``
+    List the cross-run ledger that every bundled run appends to
+    (``benchmarks/.ledger`` by default): verdicts, worst margins,
+    throughput, wall time -- the repo's performance trajectory.
+
+``diff RUN_A RUN_B``
+    Direction-aware comparison of two ledger records; exits 1 on any
+    regression (oracle flipping to violated, throughput or margins
+    shrinking), which is what CI gates on.
 
 ``ls``
     List what the store already holds (``--json`` for scripts).
@@ -203,7 +221,8 @@ def _telemetry_start(args: argparse.Namespace, source: str) -> tuple[Any, Any]:
     registry; idempotent).  Returns ``(None, noop)`` when telemetry was
     not requested, so callers need no conditional teardown.
     """
-    if not (args.metrics or args.stats):
+    bundling = bool(getattr(args, "bundle", None))
+    if not (args.metrics or args.stats or bundling):
         return None, lambda: None
     from .telemetry import FlightRecorder, TelemetrySampler, get_registry
 
@@ -218,6 +237,9 @@ def _telemetry_start(args: argparse.Namespace, source: str) -> tuple[Any, Any]:
         interval=args.metrics_interval,
         sink=recorder,
         source=source,
+        # A bundled run keeps its frames in memory so the bundle can
+        # embed them (sparklines in `repro report`).
+        keep_frames=bundling,
     )
     sampler.start()
     stopped = False
@@ -258,6 +280,75 @@ def _tracing_start(args: argparse.Namespace) -> tuple[Any, Any]:
         deactivate_tracing()
 
     return tracer, stop
+
+
+def _obs_start(args: argparse.Namespace) -> tuple[Any, Any]:
+    """Enable ambient skew-timeline capture when ``--bundle`` asks for it.
+
+    Returns ``(timeline, stop)`` analogous to :func:`_telemetry_start`.
+    The recorder outlives ``stop()`` (bundle assembly reads it after the
+    run), exactly like the tracer's span table.
+    """
+    if not getattr(args, "bundle", None):
+        return None, lambda: None
+    from .obs import activate_timeline, deactivate_timeline
+
+    timeline = activate_timeline()
+    stopped = False
+
+    def stop() -> None:
+        nonlocal stopped
+        if stopped:
+            return
+        stopped = True
+        deactivate_timeline()
+
+    return timeline, stop
+
+
+def _bundle_finish(
+    args: argparse.Namespace,
+    result: Any,
+    *,
+    kind: str,
+    workload: str | None,
+    elapsed: float | None,
+    timeline: Any,
+    sampler: Any,
+) -> dict[str, Any] | None:
+    """Assemble + write the run bundle and append its ledger record.
+
+    Returns ``{"bundle": path, "run_id": id, "ledger": root}`` for the
+    caller's summary output, or ``None`` when ``--bundle`` was not given.
+    Must run after the telemetry ``stop()`` so the sampler's final frame
+    is in ``sampler.frames``.
+    """
+    if not getattr(args, "bundle", None):
+        return None
+    from .obs import (
+        append_record,
+        assemble_bundle,
+        default_ledger_root,
+        ledger_record,
+        write_bundle,
+    )
+
+    frames = None
+    if sampler is not None and getattr(sampler, "frames", None):
+        frames = list(sampler.frames)
+    doc = assemble_bundle(
+        result,
+        kind=kind,
+        workload=workload,
+        elapsed_seconds=elapsed,
+        timeline=timeline,
+        frames=frames,
+    )
+    path = write_bundle(doc, args.bundle)
+    ledger_root = getattr(args, "ledger", None) or default_ledger_root()
+    record = ledger_record(doc, bundle_path=os.path.abspath(args.bundle))
+    run_id = append_record(record, ledger_root)
+    return {"bundle": path, "run_id": run_id, "ledger": ledger_root}
 
 
 def _trace_export(args: argparse.Namespace, result: Any) -> dict[str, int] | None:
@@ -360,8 +451,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
-def _check_one(cfg, args: argparse.Namespace) -> tuple[bool, dict[str, Any]]:
-    """Run one config under full monitoring; returns (ok, summary dict)."""
+def _check_one(
+    cfg, args: argparse.Namespace
+) -> tuple[bool, dict[str, Any], Any, float]:
+    """Run one config under full monitoring.
+
+    Returns ``(ok, summary dict, result, elapsed seconds)`` -- the result
+    and timing feed bundle assembly when ``--bundle`` is given.
+    """
     from dataclasses import replace
 
     from .harness.registry import OracleRef
@@ -378,7 +475,9 @@ def _check_one(cfg, args: argparse.Namespace) -> tuple[bool, dict[str, Any]]:
         cfg, record=False, track_edges=False, track_max_estimates=False,
         oracle=OracleRef("standard", oracle_kwargs),
     )
+    t0 = time.perf_counter()
     result = run_experiment(cfg)
+    elapsed = time.perf_counter() - t0
     report = result.oracle_report
     shown = report.violations[:CHECK_MAX_VIOLATIONS]
     lines = [v.describe() for v in shown]
@@ -394,7 +493,7 @@ def _check_one(cfg, args: argparse.Namespace) -> tuple[bool, dict[str, Any]]:
         "violation_records": [v.to_dict() for v in shown],
         "_lines": lines,
     }
-    return report.ok, summary
+    return report.ok, summary, result, elapsed
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -421,6 +520,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         profiler.enable()
     sampler, telemetry_stop = _telemetry_start(args, args.workload)
     _tracer, tracing_stop = _tracing_start(args)
+    timeline, obs_stop = _obs_start(args)
     t0 = time.perf_counter()
     try:
         result = run_experiment(cfg)
@@ -429,6 +529,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             profiler.disable()
         telemetry_stop()
         tracing_stop()
+        obs_stop()
         print(f"error: {exc}", file=sys.stderr)
         return 2
     elapsed = time.perf_counter() - t0
@@ -437,7 +538,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
     # Final frame before any reporting, so --stats sees the finished run.
     telemetry_stop()
     tracing_stop()
+    obs_stop()
     trace_counts = _trace_export(args, result)
+    try:
+        bundle_info = _bundle_finish(
+            args, result, kind="run", workload=args.workload,
+            elapsed=elapsed, timeline=timeline, sampler=sampler,
+        )
+    except OSError as exc:
+        print(f"error: bundle: {exc}", file=sys.stderr)
+        return 2
     events_per_sec = result.events_dispatched / max(elapsed, 1e-9)
     report = result.oracle_report
     if args.json:
@@ -459,6 +569,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             payload.update(report.to_metrics())
         if trace_counts is not None:
             payload["trace"] = {"path": args.trace_out, **trace_counts}
+        if bundle_info is not None:
+            payload["bundle"] = bundle_info
         print(json.dumps(payload, sort_keys=True))
     else:
         print(result.summary())
@@ -467,6 +579,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(
                 f"  trace: wrote {args.trace_out} ({trace_counts['spans']} "
                 f"spans, {trace_counts['flows']} flow events)"
+            )
+        if bundle_info is not None:
+            print(
+                f"  bundle: wrote {bundle_info['bundle']} "
+                f"(ledger {bundle_info['run_id']})"
             )
         if report is not None and not report.ok:
             print(report.render(max_lines=CHECK_MAX_VIOLATIONS))
@@ -499,8 +616,17 @@ def _cmd_check(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     summaries = []
+    bundle_info = None
+    # Only the named (non-fuzz) run is bundled: fuzz configs are
+    # throwaway regression probes, not runs worth a ledger entry.
+    timeline, obs_stop = _obs_start(args)
     try:
-        ok, summary = _check_one(cfg, args)
+        ok, summary, result, elapsed = _check_one(cfg, args)
+        obs_stop()
+        bundle_info = _bundle_finish(
+            args, result, kind="check", workload=args.workload,
+            elapsed=elapsed, timeline=timeline, sampler=None,
+        )
         summaries.append(summary)
         all_ok = ok
         if args.fuzz:
@@ -508,16 +634,20 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
             for i in range(args.fuzz):
                 fuzz_cfg = fuzz_config(args.fuzz_seed + i)
-                ok, summary = _check_one(fuzz_cfg, args)
+                ok, summary, _result, _elapsed = _check_one(fuzz_cfg, args)
                 summaries.append(summary)
                 all_ok = all_ok and ok
     except Exception as exc:
+        obs_stop()
         print(f"error: {exc}", file=sys.stderr)
         return 2
     if args.json:
         for summary in summaries:
             summary.pop("_lines")
-        print(json.dumps({"ok": all_ok, "runs": summaries}, sort_keys=True))
+        payload: dict[str, Any] = {"ok": all_ok, "runs": summaries}
+        if bundle_info is not None:
+            payload["bundle"] = bundle_info
+        print(json.dumps(payload, sort_keys=True))
     else:
         for summary in summaries:
             verdict = "OK" if summary["ok"] else "VIOLATED"
@@ -529,6 +659,11 @@ def _cmd_check(args: argparse.Namespace) -> int:
             )
             for line in summary["_lines"]:
                 print(f"  {line}")
+        if bundle_info is not None:
+            print(
+                f"bundle: wrote {bundle_info['bundle']} "
+                f"(ledger {bundle_info['run_id']})"
+            )
         verdict = "conformance OK" if all_ok else "conformance VIOLATED"
         print(f"{verdict} ({len(summaries)} run{'s' if len(summaries) != 1 else ''})")
     return 0 if all_ok else 1
@@ -565,6 +700,7 @@ def _cmd_live(args: argparse.Namespace) -> int:
         return 2
     sampler, telemetry_stop = _telemetry_start(args, args.workload)
     _tracer, tracing_stop = _tracing_start(args)
+    timeline, obs_stop = _obs_start(args)
     t0 = time.perf_counter()
     try:
         result = run_experiment(cfg)
@@ -573,12 +709,22 @@ def _cmd_live(args: argparse.Namespace) -> int:
         # like `check`; exit 1 strictly means "a paper bound was violated".
         telemetry_stop()
         tracing_stop()
+        obs_stop()
         print(f"error: {exc}", file=sys.stderr)
         return 2
     elapsed = time.perf_counter() - t0
     telemetry_stop()
     tracing_stop()
+    obs_stop()
     trace_counts = _trace_export(args, result)
+    try:
+        bundle_info = _bundle_finish(
+            args, result, kind="live", workload=args.workload,
+            elapsed=elapsed, timeline=timeline, sampler=sampler,
+        )
+    except OSError as exc:
+        print(f"error: bundle: {exc}", file=sys.stderr)
+        return 2
     report = result.oracle_report
     if args.json:
         payload: dict[str, Any] = {
@@ -598,6 +744,8 @@ def _cmd_live(args: argparse.Namespace) -> int:
             payload.update(report.to_metrics())
         if trace_counts is not None:
             payload["trace"] = {"path": args.trace_out, **trace_counts}
+        if bundle_info is not None:
+            payload["bundle"] = bundle_info
         print(json.dumps(payload, sort_keys=True))
     else:
         print(result.summary())
@@ -605,6 +753,11 @@ def _cmd_live(args: argparse.Namespace) -> int:
             print(
                 f"  trace: wrote {args.trace_out} ({trace_counts['spans']} "
                 f"spans, {trace_counts['flows']} flow events)"
+            )
+        if bundle_info is not None:
+            print(
+                f"  bundle: wrote {bundle_info['bundle']} "
+                f"(ledger {bundle_info['run_id']})"
             )
         if report is not None and not report.ok:
             print(report.render(max_lines=CHECK_MAX_VIOLATIONS))
@@ -691,8 +844,29 @@ def _cmd_explain(args: argparse.Namespace) -> int:
 
 def _cmd_top(args: argparse.Namespace) -> int:
     from .telemetry import FrameError, read_frames, render_snapshot
-    from .telemetry.top import CLEAR_SCREEN, follow_frames
+    from .telemetry.top import CLEAR_SCREEN, follow_frames, render_sweep_dir
 
+    if os.path.isdir(args.path):
+        # A `sweep --metrics-dir` directory: one single-frame recording
+        # per executed point, rendered as a per-point table.
+        if args.follow:
+            print(
+                "error: --follow tails a single metrics file, not a directory",
+                file=sys.stderr,
+            )
+            return 2
+        if not any(f.endswith(".jsonl") for f in os.listdir(args.path)):
+            print(f"error: {args.path} holds no metrics files", file=sys.stderr)
+            return 1
+        try:
+            print(render_sweep_dir(args.path), end="")
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        except (FrameError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        return 0
     if args.follow:
         # Tail mode: repaint whenever complete new frames appear.  The
         # flight recorder flushes per line, so partial tails are rare and
@@ -734,6 +908,158 @@ def _cmd_top(args: argparse.Namespace) -> int:
     prev = frames[0] if len(frames) > 1 else None
     print(render_snapshot(frames[-1], prev), end="")
     return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Render a run bundle as the single-file HTML observatory."""
+    from .obs import BundleError, load_bundle, render_report
+
+    try:
+        doc = load_bundle(args.bundle)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except (BundleError, json.JSONDecodeError) as exc:
+        print(f"error: {args.bundle}: {exc}", file=sys.stderr)
+        return 2
+    out = args.output
+    if out is None:
+        base = (
+            args.bundle
+            if os.path.isdir(args.bundle)
+            else os.path.dirname(args.bundle) or "."
+        )
+        out = os.path.join(base, "report.html")
+    text = render_report(doc)
+    try:
+        with open(out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    run = doc["run"]
+    print(
+        f"wrote {out} ({len(text):,} bytes): {run['name'] or run['algorithm']} "
+        f"n={run['n']} seed={run['seed']}"
+    )
+    return 0
+
+
+def _cmd_history(args: argparse.Namespace) -> int:
+    """List the cross-run ledger, oldest first."""
+    from .obs import LedgerError, default_ledger_root, read_ledger
+
+    root = args.ledger or default_ledger_root()
+    try:
+        records = read_ledger(root)
+    except LedgerError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.workload:
+        records = [r for r in records if r.get("workload") == args.workload]
+    if args.limit is not None:
+        records = records[-args.limit :] if args.limit > 0 else []
+    if args.json:
+        print(json.dumps({"ledger": root, "records": records}, sort_keys=True))
+        return 0
+    if not records:
+        print(f"ledger {root}: no matching runs")
+        return 0
+    from .analysis.report import TextTable
+
+    table = TextTable(
+        ["run", "kind", "name", "n", "seed", "oracle", "margin", "events/s", "wall s"],
+        title=f"ledger {root} ({len(records)} run{'s' if len(records) != 1 else ''})",
+    )
+    for rec in records:
+        ok = rec.get("oracle_ok")
+        margin = rec.get("oracle_worst_margin")
+        ev_rate = rec.get("events_per_sec")
+        wall = rec.get("wall_seconds")
+        table.add_row(
+            (
+                str(rec.get("run_id", ""))[:12],
+                str(rec.get("kind", "")),
+                str(rec.get("name") or rec.get("workload") or ""),
+                "" if rec.get("n") is None else str(rec["n"]),
+                "" if rec.get("seed") is None else str(rec["seed"]),
+                "-" if ok is None else ("OK" if ok else "VIOLATED"),
+                f"{margin:.4g}" if margin is not None else "",
+                f"{ev_rate:,.0f}" if ev_rate is not None else "",
+                f"{wall:.2f}" if wall is not None else "",
+            )
+        )
+    print(table.render(), end="")
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    """Compare two ledger records (abbreviated run ids accepted).
+
+    Exit 1 when any compared field regressed -- same contract as
+    ``scripts/bench_compare.py``.
+    """
+    from .obs import LedgerError, diff_records, find_record
+
+    try:
+        rec_a = find_record(args.run_a, args.ledger)
+        rec_b = find_record(args.run_b, args.ledger)
+    except LedgerError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    rows = diff_records(rec_a, rec_b)
+    regressions = sum(1 for r in rows if r["verdict"] == "regression")
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "a": rec_a["run_id"],
+                    "b": rec_b["run_id"],
+                    "rows": rows,
+                    "regressions": regressions,
+                },
+                sort_keys=True,
+            )
+        )
+        return 1 if regressions else 0
+    from .analysis.report import TextTable
+
+    table = TextTable(
+        ["field", "a", "b", "delta", "verdict"],
+        title=f"ledger diff {rec_a['run_id'][:12]} -> {rec_b['run_id'][:12]}",
+    )
+    for row in rows:
+        delta = row.get("delta")
+        table.add_row(
+            (
+                str(row["field"]),
+                _fmt_diff_value(row["a"]),
+                _fmt_diff_value(row["b"]),
+                f"{delta:+.4g}" if delta is not None else "",
+                str(row["verdict"]),
+            )
+        )
+    if rows:
+        print(table.render(), end="")
+    else:
+        print("no differing fields")
+    verdict = (
+        f"{regressions} regression{'s' if regressions != 1 else ''}"
+        if regressions
+        else "no regressions"
+    )
+    print(verdict)
+    return 1 if regressions else 0
+
+
+def _fmt_diff_value(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
 
 
 def _cmd_ls(args: argparse.Namespace) -> int:
@@ -1101,6 +1427,102 @@ def _build_parser() -> argparse.ArgumentParser:
             "spans to PATH (open at ui.perfetto.dev; docs/observability.md)",
         )
 
+    # Bundling is available wherever a full run happens (run/live/check).
+    for p in (p_run, p_live, p_check):
+        p.add_argument(
+            "--bundle",
+            metavar="DIR",
+            default=None,
+            help="write a versioned run bundle (timeline + telemetry + "
+            "oracle report) to DIR and append its summary to the ledger; "
+            "render with `repro report DIR` (docs/observability.md)",
+        )
+        p.add_argument(
+            "--ledger",
+            metavar="DIR",
+            default=None,
+            help="ledger directory for the --bundle record (default: "
+            "$REPRO_LEDGER or benchmarks/.ledger)",
+        )
+
+    p_report = sub.add_parser(
+        "report",
+        help="render a run bundle as a single-file HTML observatory",
+        description=(
+            "Render a bundle written by `repro run/live/check --bundle DIR` "
+            "as one dependency-free HTML page: skew-field heatmap, observed "
+            "local skew vs the Cor. 6.13 envelope with violation markers "
+            "deep-linked to cause reports, and telemetry sparklines. The "
+            "bundle JSON is embedded verbatim, so the page is also the "
+            "machine-readable artifact."
+        ),
+    )
+    p_report.add_argument(
+        "bundle", help="bundle directory (or its bundle.json) to render"
+    )
+    p_report.add_argument(
+        "-o",
+        "--output",
+        metavar="PATH",
+        default=None,
+        help="output HTML path (default: report.html beside the bundle)",
+    )
+    p_report.set_defaults(func=_cmd_report)
+
+    p_history = sub.add_parser(
+        "history",
+        help="list the cross-run ledger",
+        description=(
+            "List every bundled run recorded in the ledger, oldest first: "
+            "run id, verdict, worst margin, throughput, wall time."
+        ),
+    )
+    p_history.add_argument(
+        "--ledger",
+        metavar="DIR",
+        default=None,
+        help="ledger directory (default: $REPRO_LEDGER or benchmarks/.ledger)",
+    )
+    p_history.add_argument(
+        "--workload",
+        default=None,
+        help="only show records for this workload",
+    )
+    p_history.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="show only the newest N records",
+    )
+    p_history.add_argument(
+        "--json", action="store_true", help="print the records as JSON"
+    )
+    p_history.set_defaults(func=_cmd_history)
+
+    p_diff = sub.add_parser(
+        "diff",
+        help="compare two ledger records (direction-aware)",
+        description=(
+            "Field-by-field comparison of two ledger records addressed by "
+            "(abbreviated) run id. Exit 1 when any field regressed: "
+            "oracle_ok flipping false, throughput or margins shrinking, "
+            "violations or wall time growing."
+        ),
+    )
+    p_diff.add_argument("run_a", help="baseline run id (prefix ok)")
+    p_diff.add_argument("run_b", help="candidate run id (prefix ok)")
+    p_diff.add_argument(
+        "--ledger",
+        metavar="DIR",
+        default=None,
+        help="ledger directory (default: $REPRO_LEDGER or benchmarks/.ledger)",
+    )
+    p_diff.add_argument(
+        "--json", action="store_true", help="print the diff rows as JSON"
+    )
+    p_diff.set_defaults(func=_cmd_diff)
+
     p_top = sub.add_parser(
         "top",
         help="render a telemetry metrics file as a terminal dashboard",
@@ -1109,10 +1531,14 @@ def _build_parser() -> argparse.ArgumentParser:
             "--metrics PATH`). Default: validate every frame and print the "
             "final snapshot with whole-run counter rates. --follow tails the "
             "file and repaints as an in-progress run appends frames "
-            "(Ctrl-C to stop)."
+            "(Ctrl-C to stop). A directory (from `repro sweep "
+            "--metrics-dir`) renders as a per-point table instead."
         ),
     )
-    p_top.add_argument("path", help="metrics file written by --metrics")
+    p_top.add_argument(
+        "path",
+        help="metrics file written by --metrics, or a --metrics-dir directory",
+    )
     p_top.add_argument(
         "--follow",
         action="store_true",

@@ -1,0 +1,71 @@
+"""Skew observatory: timeline capture, run bundles, HTML reports, ledger.
+
+The observability capstone (see ``docs/observability.md``): every run can
+leave a durable, comparable artifact.
+
+* :mod:`repro.obs.timeline` -- ambient ring-buffered capture of the skew
+  field / envelope trajectory at the oracle's sample cadence;
+* :mod:`repro.obs.bundle` -- the versioned on-disk run bundle
+  (``repro run/live/check --bundle DIR``) and its schema validator;
+* :mod:`repro.obs.html` -- the dependency-free single-file HTML
+  observatory (``repro report BUNDLE``);
+* :mod:`repro.obs.ledger` -- the content-addressed cross-run ledger under
+  ``benchmarks/.ledger`` (``repro history`` / ``repro diff``).
+
+Like telemetry and tracing, everything here is an *observer*: never part
+of :class:`~repro.harness.runner.ExperimentConfig`, no RNG draws,
+nothing scheduled -- sweep-cache hashes and golden pins stay valid with
+capture on.
+"""
+
+from .bundle import (
+    BUNDLE_VERSION,
+    BundleError,
+    assemble_bundle,
+    load_bundle,
+    validate_bundle,
+    write_bundle,
+)
+from .html import render_report
+from .ledger import (
+    LEDGER_VERSION,
+    LedgerError,
+    append_record,
+    default_ledger_root,
+    diff_records,
+    find_record,
+    ledger_record,
+    read_ledger,
+)
+from .timeline import (
+    TIMELINE_VERSION,
+    TimelineRecorder,
+    activate_timeline,
+    active_timeline,
+    deactivate_timeline,
+    timeline_session,
+)
+
+__all__ = [
+    "BUNDLE_VERSION",
+    "BundleError",
+    "LEDGER_VERSION",
+    "LedgerError",
+    "TIMELINE_VERSION",
+    "TimelineRecorder",
+    "activate_timeline",
+    "active_timeline",
+    "append_record",
+    "assemble_bundle",
+    "deactivate_timeline",
+    "default_ledger_root",
+    "diff_records",
+    "find_record",
+    "ledger_record",
+    "load_bundle",
+    "read_ledger",
+    "render_report",
+    "timeline_session",
+    "validate_bundle",
+    "write_bundle",
+]

@@ -1,0 +1,644 @@
+"""Single-file HTML observatory (``repro report``).
+
+:func:`render_report` turns one validated bundle document into one
+self-contained HTML page: no external assets, no CDN, no framework --
+inline CSS, inline vanilla JS, and the bundle itself embedded verbatim
+in a ``<script type="application/json">`` block (``</`` escaped so the
+document can never be broken by its own data).  CI extracts that block
+and round-trips it through :func:`repro.obs.bundle.validate_bundle`.
+
+The page renders client-side from the embedded JSON:
+
+* an overview row of stat tiles (oracle verdict with icon + label --
+  never color alone -- peak skews, throughput, wall time),
+* a skew-field heatmap over time (canvas; sequential single-hue ramp,
+  per-cell tooltip),
+* the per-edge envelope-vs-observed line chart (SVG; one axis, legend,
+  crosshair tooltip, violation markers deep-linked to the cause list),
+* throughput/queue sparklines derived from the telemetry frames,
+* the violation / forensic-cause list the markers link into.
+
+Every chart ships a ``<details>`` table twin, dark mode is a selected
+second palette (``prefers-color-scheme`` + ``data-theme`` override), and
+untrusted strings only ever enter the DOM via ``textContent``.
+"""
+
+from __future__ import annotations
+
+import html as _html
+import json
+from typing import Any, Mapping
+
+__all__ = ["render_report"]
+
+
+def _escape_json(doc: Mapping[str, Any]) -> str:
+    """JSON safe to inline inside a ``<script>`` element."""
+    return json.dumps(doc, sort_keys=True).replace("</", "<\\/")
+
+
+def render_report(bundle: Mapping[str, Any]) -> str:
+    """Render one bundle document to a self-contained HTML page."""
+    run = bundle["run"]
+    title_bits = [b for b in (run.get("workload"), run.get("name")) if b]
+    label = title_bits[0] if title_bits else run["algorithm"]
+    title = f"skew observatory · {label}"
+    identity = (
+        f"{run['algorithm']} · runtime {run['runtime']} · n={run['n']} · "
+        f"seed={run['seed']} · horizon={run['horizon']:g} · "
+        f"config {run['config_hash'][:12]}"
+    )
+    return _PAGE.replace("__TITLE__", _html.escape(title)).replace(
+        "__IDENTITY__", _html.escape(identity)
+    ).replace("__BUNDLE_JSON__", _escape_json(bundle))
+
+
+_CSS = """
+:root { margin: 0; }
+body {
+  margin: 0;
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+  background: var(--plane);
+  color: var(--ink);
+}
+.viz-root {
+  color-scheme: light;
+  --surface: #fcfcfb;  --plane: #f9f9f7;
+  --ink: #0b0b0b;      --ink-2: #52514e;   --muted: #898781;
+  --grid: #e1e0d9;     --baseline: #c3c2b7;
+  --border: rgba(11, 11, 11, 0.10);
+  --s1: #2a78d6;       --s2: #eb6834;
+  --good: #0ca30c;     --warning: #fab219;
+  --serious: #ec835a;  --critical: #d03b3b;
+  --ramp: #cde2fb,#b7d3f6,#9ec5f4,#86b6ef,#6da7ec,#5598e7,#3987e5,#2a78d6,#256abf,#1c5cab,#184f95,#104281,#0d366b;
+  max-width: 960px;
+  margin: 0 auto;
+  padding: 24px 16px 48px;
+}
+@media (prefers-color-scheme: dark) {
+  :root:where(:not([data-theme="light"])) .viz-root {
+    color-scheme: dark;
+    --surface: #1a1a19;  --plane: #0d0d0d;
+    --ink: #ffffff;      --ink-2: #c3c2b7;  --muted: #898781;
+    --grid: #2c2c2a;     --baseline: #383835;
+    --border: rgba(255, 255, 255, 0.10);
+    --s1: #3987e5;       --s2: #d95926;
+  }
+}
+:root[data-theme="dark"] .viz-root {
+  color-scheme: dark;
+  --surface: #1a1a19;  --plane: #0d0d0d;
+  --ink: #ffffff;      --ink-2: #c3c2b7;  --muted: #898781;
+  --grid: #2c2c2a;     --baseline: #383835;
+  --border: rgba(255, 255, 255, 0.10);
+  --s1: #3987e5;       --s2: #d95926;
+}
+header h1 { font-size: 20px; margin: 0 0 4px; }
+header .identity { color: var(--ink-2); font-size: 13px; }
+section { margin-top: 28px; }
+section > h2 { font-size: 15px; margin: 0 0 10px; }
+.card {
+  background: var(--surface);
+  border: 1px solid var(--border);
+  border-radius: 10px;
+  padding: 14px;
+}
+.tiles { display: flex; flex-wrap: wrap; gap: 10px; }
+.tile {
+  background: var(--surface);
+  border: 1px solid var(--border);
+  border-radius: 10px;
+  padding: 12px 16px;
+  min-width: 120px;
+  flex: 1 1 120px;
+}
+.tile .k { color: var(--ink-2); font-size: 12px; margin-bottom: 4px; }
+.tile .v {
+  font-size: 26px;
+  font-weight: 600;
+  font-variant-numeric: tabular-nums;
+}
+.tile .sub { color: var(--muted); font-size: 12px; margin-top: 2px; }
+.tile .spark { margin-top: 6px; }
+.chip {
+  display: inline-flex; align-items: center; gap: 6px;
+  font-size: 13px; font-weight: 600;
+  padding: 3px 10px; border-radius: 999px;
+  border: 1px solid var(--border); background: var(--surface);
+}
+.chip .dot { width: 10px; height: 10px; border-radius: 50%; }
+.legend { display: flex; gap: 16px; margin: 0 0 8px; font-size: 12px; color: var(--ink-2); }
+.legend .sw { display: inline-block; width: 10px; height: 10px; border-radius: 2px; margin-right: 5px; vertical-align: -1px; }
+.note { color: var(--muted); font-size: 13px; }
+canvas.heat { width: 100%; display: block; border-radius: 4px; image-rendering: pixelated; }
+.heat-scale { display: flex; align-items: center; gap: 8px; margin-top: 8px; font-size: 12px; color: var(--ink-2); }
+.heat-scale .bar { height: 8px; flex: 0 0 160px; border-radius: 4px; }
+svg text { font-family: inherit; font-size: 11px; fill: var(--ink-2); }
+svg .grid { stroke: var(--grid); stroke-width: 1; }
+svg .axis { stroke: var(--baseline); stroke-width: 1; }
+svg .series { fill: none; stroke-width: 2; stroke-linejoin: round; stroke-linecap: round; }
+svg .crosshair { stroke: var(--baseline); stroke-width: 1; }
+details { margin-top: 10px; }
+details summary { cursor: pointer; color: var(--ink-2); font-size: 13px; }
+table.twin { border-collapse: collapse; font-size: 12px; margin-top: 8px; width: 100%; }
+table.twin th, table.twin td { border-bottom: 1px solid var(--grid); padding: 4px 8px; text-align: right; }
+table.twin th:first-child, table.twin td:first-child { text-align: left; }
+table.twin td { font-variant-numeric: tabular-nums; }
+table.twin th { color: var(--ink-2); font-weight: 600; }
+ul.viols { list-style: none; margin: 0; padding: 0; font-size: 13px; }
+ul.viols li { padding: 8px 4px; border-bottom: 1px solid var(--grid); }
+ul.viols li:target { background: color-mix(in srgb, var(--critical) 12%, transparent); border-radius: 6px; }
+ul.viols .mon { font-weight: 600; }
+ul.viols .dot { display: inline-block; width: 8px; height: 8px; border-radius: 50%; background: var(--critical); margin-right: 6px; }
+.cause { margin: 6px 0 0 16px; color: var(--ink-2); font-size: 12px; }
+#tooltip {
+  position: fixed; display: none; pointer-events: none; z-index: 10;
+  background: var(--surface); color: var(--ink);
+  border: 1px solid var(--border); border-radius: 8px;
+  box-shadow: 0 2px 10px rgba(0, 0, 0, 0.18);
+  padding: 7px 10px; font-size: 12px; max-width: 280px;
+}
+#tooltip .tt-title { color: var(--ink-2); margin-bottom: 4px; }
+#tooltip .row { display: flex; justify-content: space-between; gap: 14px; }
+#tooltip .row .val { font-variant-numeric: tabular-nums; }
+footer { margin-top: 36px; color: var(--muted); font-size: 12px; }
+"""
+
+_JS = r"""
+'use strict';
+const bundle = JSON.parse(document.getElementById('bundle-data').textContent);
+const root = document.querySelector('.viz-root');
+const tooltip = document.getElementById('tooltip');
+
+function cssVar(name) {
+  return getComputedStyle(root).getPropertyValue(name).trim();
+}
+function ramp() { return cssVar('--ramp').split(',').map(s => s.trim()); }
+function el(tag, cls, text) {
+  const node = document.createElement(tag);
+  if (cls) node.className = cls;
+  if (text !== undefined) node.textContent = text;
+  return node;
+}
+function svgEl(tag, attrs) {
+  const node = document.createElementNS('http://www.w3.org/2000/svg', tag);
+  for (const k in attrs) node.setAttribute(k, attrs[k]);
+  return node;
+}
+function fmt(x, digits) {
+  if (x === null || x === undefined || Number.isNaN(x)) return 'n/a';
+  if (typeof x !== 'number') return String(x);
+  if (Number.isInteger(x) && Math.abs(x) < 1e15) return x.toLocaleString('en-US');
+  return x.toPrecision(digits || 4);
+}
+function showTooltip(evt, title, rows) {
+  tooltip.textContent = '';
+  if (title) tooltip.appendChild(el('div', 'tt-title', title));
+  for (const r of rows) {
+    const row = el('div', 'row');
+    const name = el('span', 'name');
+    if (r.color) {
+      const sw = el('span');
+      sw.style.cssText = 'display:inline-block;width:8px;height:8px;' +
+        'border-radius:2px;margin-right:5px;background:' + r.color;
+      name.appendChild(sw);
+    }
+    name.appendChild(document.createTextNode(r.name));
+    row.appendChild(name);
+    row.appendChild(el('span', 'val', r.value));
+    tooltip.appendChild(row);
+  }
+  tooltip.style.display = 'block';
+  const pad = 14;
+  let x = evt.clientX + pad, y = evt.clientY + pad;
+  const w = tooltip.offsetWidth, h = tooltip.offsetHeight;
+  if (x + w > window.innerWidth - 8) x = evt.clientX - w - pad;
+  if (y + h > window.innerHeight - 8) y = evt.clientY - h - pad;
+  tooltip.style.left = x + 'px';
+  tooltip.style.top = y + 'px';
+}
+function hideTooltip() { tooltip.style.display = 'none'; }
+
+function tableTwin(parent, headers, rows, summaryText) {
+  const details = el('details');
+  details.appendChild(el('summary', null, summaryText || 'Data table'));
+  const table = el('table', 'twin');
+  const thead = el('thead'); const tr = el('tr');
+  for (const h of headers) tr.appendChild(el('th', null, h));
+  thead.appendChild(tr); table.appendChild(thead);
+  const tbody = el('tbody');
+  for (const r of rows) {
+    const row = el('tr');
+    for (const c of r) row.appendChild(el('td', null, c));
+    tbody.appendChild(row);
+  }
+  table.appendChild(tbody);
+  details.appendChild(table);
+  parent.appendChild(details);
+}
+
+/* ------------------------------ overview ----------------------------- */
+function statusFor(oracle) {
+  if (!oracle) return { color: cssVar('--muted'), icon: '○', label: 'no oracle' };
+  if (oracle.ok) return { color: cssVar('--good'), icon: '✓', label: 'oracle OK' };
+  return { color: cssVar('--critical'), icon: '✗', label: 'oracle VIOLATED' };
+}
+function tile(parent, key, value, sub) {
+  const t = el('div', 'tile');
+  t.appendChild(el('div', 'k', key));
+  t.appendChild(el('div', 'v', value));
+  if (sub) t.appendChild(el('div', 'sub', sub));
+  parent.appendChild(t);
+  return t;
+}
+function renderOverview() {
+  const box = document.getElementById('overview-tiles');
+  const run = bundle.run, oracle = bundle.oracle, tl = bundle.timeline;
+  const st = statusFor(oracle);
+  const chip = el('span', 'chip');
+  const dot = el('span', 'dot');
+  dot.style.background = st.color;
+  chip.appendChild(dot);
+  chip.appendChild(document.createTextNode(st.icon + ' ' + st.label));
+  document.getElementById('verdict').appendChild(chip);
+
+  let peak = null;
+  if (tl && tl.rows > 0) peak = Math.max(...tl.columns.global_skew.filter(v => v !== null));
+  tile(box, 'peak global skew', fmt(peak), 'bound G(n) = ' + fmt(run.global_skew_bound));
+  tile(box, 'worst margin', oracle ? fmt(oracle.worst_margin) : 'n/a',
+       oracle ? oracle.checks.toLocaleString('en-US') + ' checks' : '');
+  tile(box, 'violations', oracle ? fmt(oracle.violation_count) : 'n/a', '');
+  tile(box, 'events/s', fmt(run.events_per_sec),
+       fmt(run.events_dispatched) + ' events');
+  tile(box, 'wall time', run.elapsed_seconds === null ? 'n/a'
+       : run.elapsed_seconds.toPrecision(3) + ' s', fmt(run.jumps) + ' jumps');
+}
+
+/* ------------------------------ heatmap ------------------------------ */
+function heatColor(v, vmax, steps) {
+  if (vmax <= 0) return steps[0];
+  const k = Math.min(steps.length - 1,
+                     Math.max(0, Math.floor(v / vmax * steps.length)));
+  return steps[k];
+}
+function renderHeatmap() {
+  const sec = document.getElementById('heatmap-body');
+  const tl = bundle.timeline;
+  if (!tl || tl.rows === 0 || tl.field_nodes.length === 0) {
+    sec.appendChild(el('p', 'note', 'No timeline captured for this run.'));
+    return;
+  }
+  const rows = tl.rows, nodes = tl.field_nodes.length, ts = tl.columns.t;
+  let vmax = 0;
+  for (const row of tl.field) for (const v of row) if (v > vmax) vmax = v;
+  const canvas = document.createElement('canvas');
+  canvas.className = 'heat';
+  canvas.width = rows; canvas.height = nodes;
+  canvas.style.height = Math.max(96, Math.min(320, nodes * 3)) + 'px';
+  sec.appendChild(canvas);
+  function paint() {
+    const steps = ramp();
+    const ctx = canvas.getContext('2d');
+    for (let x = 0; x < rows; x++) {
+      const col = tl.field[x];
+      for (let y = 0; y < nodes; y++) {
+        ctx.fillStyle = heatColor(col[y], vmax, steps);
+        ctx.fillRect(x, y, 1, 1);
+      }
+    }
+  }
+  paint();
+  matchMedia('(prefers-color-scheme: dark)').addEventListener('change', paint);
+  canvas.addEventListener('mousemove', evt => {
+    const r = canvas.getBoundingClientRect();
+    const x = Math.min(rows - 1, Math.max(0, Math.floor((evt.clientX - r.left) / r.width * rows)));
+    const y = Math.min(nodes - 1, Math.max(0, Math.floor((evt.clientY - r.top) / r.height * nodes)));
+    showTooltip(evt, 't = ' + fmt(ts[x]) + ' · node ' + tl.field_nodes[y], [
+      { name: 'skew vs min clock', value: fmt(tl.field[x][y]) },
+    ]);
+  });
+  canvas.addEventListener('mouseleave', hideTooltip);
+
+  const scale = el('div', 'heat-scale');
+  scale.appendChild(el('span', null, '0'));
+  const bar = el('span', 'bar');
+  bar.style.background = 'linear-gradient(90deg,' + cssVar('--ramp') + ')';
+  scale.appendChild(bar);
+  scale.appendChild(el('span', null, fmt(vmax) + ' skew above min clock'));
+  scale.appendChild(el('span', null,
+    '· nodes top→bottom by id, time left→right' +
+    (tl.stride > 1 ? ' (stride ' + tl.stride + ' samples/column)' : '')));
+  sec.appendChild(scale);
+
+  const headers = ['t', 'min', 'median', 'max skew'];
+  const twin = [];
+  const step = Math.max(1, Math.floor(rows / 64));
+  for (let x = 0; x < rows; x += step) {
+    const sorted = [...tl.field[x]].sort((a, b) => a - b);
+    twin.push([fmt(ts[x]), fmt(sorted[0]), fmt(sorted[Math.floor(nodes / 2)]),
+               fmt(sorted[nodes - 1])]);
+  }
+  tableTwin(sec, headers, twin, 'Data table (skew-field summary per sample)');
+}
+
+/* --------------------------- envelope chart -------------------------- */
+function niceTicks(max, count) {
+  if (!(max > 0)) return [0];
+  const raw = max / count;
+  const mag = Math.pow(10, Math.floor(Math.log10(raw)));
+  const step = [1, 2, 5, 10].map(m => m * mag).find(s => s >= raw);
+  const out = [];
+  for (let v = 0; v <= max * 1.0001; v += step) out.push(v);
+  return out;
+}
+function seriesPath(xs, ys, sx, sy) {
+  let d = '', pen = false;
+  for (let i = 0; i < xs.length; i++) {
+    if (ys[i] === null || ys[i] === undefined) { pen = false; continue; }
+    d += (pen ? 'L' : 'M') + sx(xs[i]).toFixed(1) + ' ' + sy(ys[i]).toFixed(1);
+    pen = true;
+  }
+  return d;
+}
+function renderEnvelope() {
+  const sec = document.getElementById('envelope-body');
+  const tl = bundle.timeline;
+  if (!tl || tl.rows === 0) {
+    sec.appendChild(el('p', 'note', 'No timeline captured for this run.'));
+    return;
+  }
+  const ts = tl.columns.t;
+  const observed = tl.columns.local_skew, bound = tl.columns.envelope_bound;
+  const viols = (bundle.oracle ? bundle.oracle.violations : [])
+    .map((v, i) => ({ v: v, i: i }))
+    .filter(x => x.v.monitor === 'envelope');
+  const W = 880, H = 300, ml = 52, mr = 16, mt = 14, mb = 30;
+  const tmax = ts[ts.length - 1] || 1;
+  let ymax = 0;
+  for (const s of [observed, bound]) {
+    for (const v of s) if (v !== null && v > ymax) ymax = v;
+  }
+  for (const x of viols) if (x.v.observed > ymax) ymax = x.v.observed;
+  if (ymax <= 0) ymax = 1;
+  const sx = t => ml + t / tmax * (W - ml - mr);
+  const sy = v => H - mb - v / (ymax * 1.08) * (H - mt - mb);
+
+  const legend = el('div', 'legend');
+  for (const s of [['observed worst edge skew', '--s1'],
+                   ['Cor 6.13 envelope bound', '--s2']]) {
+    const item = el('span');
+    const sw = el('span', 'sw');
+    sw.style.background = 'var(' + s[1] + ')';
+    item.appendChild(sw);
+    item.appendChild(document.createTextNode(s[0]));
+    legend.appendChild(item);
+  }
+  if (viols.length) {
+    const item = el('span');
+    const sw = el('span', 'sw');
+    sw.style.cssText = 'background:var(--critical);border-radius:50%';
+    item.appendChild(sw);
+    item.appendChild(document.createTextNode('violation (click → cause)'));
+    legend.appendChild(item);
+  }
+  sec.appendChild(legend);
+
+  const svg = svgEl('svg', { viewBox: '0 0 ' + W + ' ' + H, role: 'img' });
+  svg.style.width = '100%';
+  for (const v of niceTicks(ymax, 4)) {
+    const y = sy(v);
+    svg.appendChild(svgEl('line', { class: 'grid', x1: ml, x2: W - mr, y1: y, y2: y }));
+    const label = svgEl('text', { x: ml - 6, y: y + 3, 'text-anchor': 'end' });
+    label.textContent = fmt(v, 3);
+    svg.appendChild(label);
+  }
+  svg.appendChild(svgEl('line', {
+    class: 'axis', x1: ml, x2: W - mr, y1: H - mb, y2: H - mb }));
+  for (const frac of [0, 0.5, 1]) {
+    const label = svgEl('text', {
+      x: sx(tmax * frac), y: H - mb + 16, 'text-anchor': 'middle' });
+    label.textContent = 't = ' + fmt(tmax * frac, 3);
+    svg.appendChild(label);
+  }
+  const pBound = svgEl('path', { class: 'series', d: seriesPath(ts, bound, sx, sy) });
+  pBound.style.stroke = 'var(--s2)';
+  svg.appendChild(pBound);
+  const pObs = svgEl('path', { class: 'series', d: seriesPath(ts, observed, sx, sy) });
+  pObs.style.stroke = 'var(--s1)';
+  svg.appendChild(pObs);
+
+  for (const x of viols.slice(0, 200)) {
+    const a = svgEl('a', { href: '#v-' + x.i });
+    const cx = sx(x.v.time), cy = sy(Math.min(x.v.observed, ymax));
+    a.appendChild(svgEl('circle', {
+      cx: cx, cy: cy, r: 12, fill: 'transparent' }));
+    const mark = svgEl('circle', { cx: cx, cy: cy, r: 4 });
+    mark.style.cssText = 'fill:var(--critical);stroke:var(--surface);stroke-width:2';
+    a.appendChild(mark);
+    const t = svgEl('title', {});
+    t.textContent = 'violation at t=' + fmt(x.v.time) + ' — jump to cause';
+    a.appendChild(t);
+    svg.appendChild(a);
+  }
+
+  const cross = svgEl('line', {
+    class: 'crosshair', y1: mt, y2: H - mb, visibility: 'hidden' });
+  svg.appendChild(cross);
+  const overlay = svgEl('rect', {
+    x: ml, y: mt, width: W - ml - mr, height: H - mt - mb,
+    fill: 'transparent' });
+  overlay.addEventListener('mousemove', evt => {
+    const r = svg.getBoundingClientRect();
+    const t = (evt.clientX - r.left) / r.width * W;
+    let best = 0, bd = Infinity;
+    for (let i = 0; i < ts.length; i++) {
+      const d = Math.abs(sx(ts[i]) - t);
+      if (d < bd) { bd = d; best = i; }
+    }
+    const x = sx(ts[best]);
+    cross.setAttribute('x1', x); cross.setAttribute('x2', x);
+    cross.setAttribute('visibility', 'visible');
+    const rows = [
+      { name: 'observed', value: fmt(observed[best]), color: cssVar('--s1') },
+      { name: 'bound', value: fmt(bound[best]), color: cssVar('--s2') },
+    ];
+    const margin = tl.columns.envelope_margin[best];
+    if (margin !== null) rows.push({ name: 'margin', value: fmt(margin) });
+    showTooltip(evt, 't = ' + fmt(ts[best]), rows);
+  });
+  overlay.addEventListener('mouseleave', () => {
+    cross.setAttribute('visibility', 'hidden');
+    hideTooltip();
+  });
+  svg.appendChild(overlay);
+  sec.appendChild(svg);
+
+  const twin = [];
+  const step = Math.max(1, Math.floor(tl.rows / 64));
+  for (let i = 0; i < tl.rows; i += step) {
+    twin.push([fmt(ts[i]), fmt(observed[i]), fmt(bound[i]),
+               fmt(tl.columns.envelope_margin[i]),
+               fmt(tl.columns.global_skew[i])]);
+  }
+  tableTwin(sec, ['t', 'observed edge skew', 'envelope bound', 'margin',
+                  'global skew'], twin);
+}
+
+/* ----------------------------- telemetry ----------------------------- */
+function spark(values, color) {
+  const W = 130, H = 34;
+  const svg = svgEl('svg', { viewBox: '0 0 ' + W + ' ' + H, class: 'spark' });
+  svg.style.cssText = 'width:' + W + 'px;height:' + H + 'px;display:block';
+  const max = Math.max(...values, 1e-12);
+  const pts = values.map((v, i) =>
+    (i / Math.max(1, values.length - 1) * (W - 4) + 2).toFixed(1) + ',' +
+    (H - 3 - v / max * (H - 6)).toFixed(1)).join(' ');
+  const line = svgEl('polyline', {
+    points: pts, fill: 'none', 'stroke-width': 2,
+    'stroke-linejoin': 'round', 'stroke-linecap': 'round' });
+  line.style.stroke = color;
+  svg.appendChild(line);
+  return svg;
+}
+function renderTelemetry() {
+  const sec = document.getElementById('telemetry-body');
+  const tel = bundle.telemetry;
+  if (!tel || tel.frames.length < 2) {
+    sec.appendChild(el('p', 'note',
+      'No telemetry frames in this bundle (run with --bundle to keep them).'));
+    return;
+  }
+  const frames = tel.frames;
+  const rates = [], depths = [], inflight = [];
+  for (let i = 1; i < frames.length; i++) {
+    const dt = frames[i].t_wall - frames[i - 1].t_wall;
+    const a = frames[i - 1].counters['kernel.events_dispatched'];
+    const b = frames[i].counters['kernel.events_dispatched'];
+    rates.push(dt > 0 && b !== undefined && a !== undefined ? (b - a) / dt : 0);
+  }
+  for (const f of frames) {
+    depths.push(f.gauges['kernel.queue_depth'] || 0);
+    inflight.push(f.gauges['transport.in_flight'] || 0);
+  }
+  const box = el('div', 'tiles');
+  const defs = [
+    ['events/s', rates, rates[rates.length - 1]],
+    ['queue depth', depths, depths[depths.length - 1]],
+    ['in flight', inflight, inflight[inflight.length - 1]],
+  ];
+  for (const d of defs) {
+    const t = tile(box, d[0], fmt(d[2], 3), frames.length + ' frames');
+    t.appendChild(spark(d[1], cssVar('--s1')));
+  }
+  sec.appendChild(box);
+  const twin = frames.map(f => [
+    fmt(f.seq), f.t_wall.toFixed(2),
+    fmt(f.counters['kernel.events_dispatched']),
+    fmt(f.gauges['kernel.queue_depth']),
+    fmt(f.counters['transport.delivered'])]);
+  tableTwin(sec, ['frame', 't_wall (s)', 'events', 'queue depth', 'delivered'],
+            twin);
+}
+
+/* ------------------------- violations & causes ----------------------- */
+function renderViolations() {
+  const sec = document.getElementById('violations-body');
+  const oracle = bundle.oracle;
+  if (!oracle || oracle.violations.length === 0) {
+    sec.appendChild(el('p', 'note',
+      oracle ? 'No violations: every check passed.'
+             : 'No oracle was attached to this run.'));
+    return;
+  }
+  const causesByTime = new Map();
+  for (const report of bundle.causes) {
+    causesByTime.set(report.violation.monitor + '@' + report.violation.time,
+                     report);
+  }
+  const list = el('ul', 'viols');
+  oracle.violations.forEach((v, i) => {
+    const li = el('li');
+    li.id = 'v-' + i;
+    const head = el('div');
+    head.appendChild(el('span', 'dot'));
+    head.appendChild(el('span', 'mon', v.monitor));
+    head.appendChild(document.createTextNode(
+      ' · t=' + fmt(v.time) + ' · nodes ' + v.nodes.join(',') +
+      ' · observed ' + fmt(v.observed) + ' vs bound ' + fmt(v.bound)));
+    li.appendChild(head);
+    const report = causesByTime.get(v.monitor + '@' + v.time);
+    if (report) {
+      report.causes.slice(0, 3).forEach((c, rank) => {
+        li.appendChild(el('div', 'cause',
+          '#' + (rank + 1) + ' [' + c.kind + '] score=' + fmt(c.score, 4) +
+          ' — ' + c.description));
+      });
+    }
+    list.appendChild(li);
+  });
+  sec.appendChild(list);
+  if (oracle.violation_count > oracle.violations.length) {
+    sec.appendChild(el('p', 'note',
+      (oracle.violation_count - oracle.violations.length) +
+      ' further violations were counted but not recorded (per-monitor cap).'));
+  }
+}
+
+renderOverview();
+renderHeatmap();
+renderEnvelope();
+renderTelemetry();
+renderViolations();
+"""
+
+_PAGE = (
+    """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>__TITLE__</title>
+<style>"""
+    + _CSS
+    + """</style>
+</head>
+<body>
+<script type="application/json" id="bundle-data">__BUNDLE_JSON__</script>
+<div class="viz-root">
+  <header>
+    <h1>Skew observatory</h1>
+    <div class="identity">__IDENTITY__</div>
+  </header>
+  <section id="overview">
+    <h2>Overview <span id="verdict"></span></h2>
+    <div class="tiles" id="overview-tiles"></div>
+  </section>
+  <section id="heatmap">
+    <h2>Skew field over time</h2>
+    <div class="card" id="heatmap-body"></div>
+  </section>
+  <section id="envelope">
+    <h2>Worst edge skew vs the dynamic envelope</h2>
+    <div class="card" id="envelope-body"></div>
+  </section>
+  <section id="telemetry">
+    <h2>Throughput &amp; queues</h2>
+    <div class="card" id="telemetry-body"></div>
+  </section>
+  <section id="violations">
+    <h2>Violations &amp; causes</h2>
+    <div class="card" id="violations-body"></div>
+  </section>
+  <footer>
+    Self-contained report generated by <code>repro report</code> ·
+    data embedded in <code>#bundle-data</code>.
+  </footer>
+</div>
+<div id="tooltip" role="status"></div>
+<script>"""
+    + _JS
+    + """</script>
+</body>
+</html>
+"""
+)

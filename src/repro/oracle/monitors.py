@@ -111,12 +111,31 @@ class MonitorSummary:
     violations: int
     worst_margin: float | None
     worst_observed: float | None
+    #: Sample time of the tightest check (``None`` before any check) --
+    #: the deep-link target dashboards and the ledger use to locate the
+    #: worst moment on the captured timeline.
+    worst_margin_time: float | None = None
     extras: dict[str, Any] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
         """Whether the monitor saw no violation."""
         return self.violations == 0
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe form (run bundles, structured logs)."""
+        return {
+            "name": self.name,
+            "checks": self.checks,
+            "violations": self.violations,
+            "worst_margin": self.worst_margin,
+            "worst_observed": self.worst_observed,
+            "worst_margin_time": self.worst_margin_time,
+            "extras": {
+                k: list(v) if isinstance(v, tuple) else v
+                for k, v in self.extras.items()
+            },
+        }
 
 
 class Monitor:
@@ -142,6 +161,7 @@ class Monitor:
         self.violations: list[Violation] = []
         self.worst_margin = np.inf
         self.worst_observed: float | None = None
+        self.worst_margin_time: float | None = None
         # Bound by bind().
         self.params: SystemParams | None = None
         self.node_ids: list[int] = []
@@ -169,17 +189,21 @@ class Monitor:
     # Accounting helpers
     # ------------------------------------------------------------------ #
 
-    def _check(self, observed: float, bound: float, *, floor: bool = False) -> float:
+    def _check(
+        self, t: float, observed: float, bound: float, *, floor: bool = False
+    ) -> float:
         """Count one comparison; returns the (orientation-aware) margin.
 
         ``floor=True`` treats ``bound`` as a lower bound on ``observed``.
-        ``worst_observed`` tracks the observed value at the tightest check.
+        ``worst_observed``/``worst_margin_time`` track the observed value
+        and sample time at the tightest check.
         """
         self.checks += 1
         margin = (observed - bound) if floor else (bound - observed)
         if margin < self.worst_margin:
             self.worst_margin = margin
             self.worst_observed = observed
+            self.worst_margin_time = t
         return margin
 
     def _violate(
@@ -215,6 +239,7 @@ class Monitor:
             worst_observed=(
                 float(self.worst_observed) if self.checks else None
             ),
+            worst_margin_time=self.worst_margin_time,
             extras=self._extras(),
         )
 
@@ -263,7 +288,7 @@ class ProgressMonitor(Monitor):
             # One margin per node; aggregate extrema via the worst node.
             worst = int(np.argmin(dl))
             self.checks += len(dl) - 1  # the worst one goes through _check
-            margin = self._check(float(dl[worst]), required, floor=True)
+            margin = self._check(t, float(dl[worst]), required, floor=True)
             if margin < -self.tolerance:
                 for i in np.nonzero(dl < required - self.tolerance)[0]:
                     self._violate(
@@ -292,7 +317,7 @@ class LmaxDominanceMonitor(Monitor):
         slack = estimates - clocks
         worst = int(np.argmin(slack))
         self.checks += len(slack) - 1
-        self._check(float(slack[worst]), 0.0, floor=True)
+        self._check(t, float(slack[worst]), 0.0, floor=True)
         if slack[worst] < -self.tolerance:
             for i in np.nonzero(slack < -self.tolerance)[0]:
                 self._violate(
@@ -320,7 +345,7 @@ class GlobalSkewMonitor(Monitor):
         lo = int(np.argmin(clocks))
         observed = float(clocks[hi] - clocks[lo])
         bound = self._bound
-        self._check(observed, bound)
+        self._check(t, observed, bound)
         if observed > bound + self.tolerance:
             self._violate(
                 t, (self.node_ids[hi], self.node_ids[lo]), bound, observed
@@ -351,7 +376,7 @@ class EstimateLagMonitor(Monitor):
         lo = int(np.argmin(estimates))
         observed = float(estimates[hi] - estimates[lo])
         bound = self._bound
-        self._check(observed, bound)
+        self._check(t, observed, bound)
         if observed > bound + self.tolerance:
             self._violate(
                 t, (self.node_ids[hi], self.node_ids[lo]), bound, observed
@@ -445,6 +470,7 @@ class EnvelopeMonitor(Monitor):
         if margins[k] < self.worst_margin:
             self.worst_margin = float(margins[k])
             self.worst_observed = float(observed[k])
+            self.worst_margin_time = t
         with np.errstate(divide="ignore"):
             ratios = np.where(bounds > 0, observed / bounds, np.inf)
         r = int(np.argmax(ratios))

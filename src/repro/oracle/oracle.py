@@ -32,6 +32,7 @@ from ..sim.simulator import Simulator
 from .monitors import MONITOR_FACTORIES, Monitor, MonitorSummary, Violation
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checking
+    from ..obs.timeline import TimelineRecorder
     from ..telemetry.registry import MetricsRegistry
     from ..tracing.context import Tracer
 
@@ -69,12 +70,36 @@ class OracleReport:
         return self.monitors[name]
 
     def to_metrics(self) -> dict[str, Any]:
-        """The flat ``oracle_*`` columns stored per sweep point."""
-        return {
+        """The flat ``oracle_*`` columns stored per sweep point.
+
+        Beside the aggregates, each monitor contributes the sample time
+        at which its worst margin occurred
+        (``oracle_<name>_worst_margin_time``) so dashboards and the
+        cross-run ledger can deep-link into the captured timeline.
+        """
+        out: dict[str, Any] = {
             "oracle_ok": self.ok,
             "oracle_checks": self.checks,
             "oracle_violations": self.violation_count,
             "oracle_worst_margin": self.worst_margin,
+        }
+        for name in sorted(self.monitors):
+            out[f"oracle_{name}_worst_margin_time"] = self.monitors[
+                name
+            ].worst_margin_time
+        return out
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe nested form (run bundles, structured logs)."""
+        return {
+            "ok": self.ok,
+            "checks": self.checks,
+            "violation_count": self.violation_count,
+            "worst_margin": self.worst_margin,
+            "monitors": {
+                name: s.to_dict() for name, s in sorted(self.monitors.items())
+            },
+            "violations": [v.to_dict() for v in self.violations],
         }
 
     def render(self, *, max_lines: int = 20) -> str:
@@ -179,6 +204,9 @@ class StreamingOracle:
         # (``None`` / unused when causal tracing is off).
         self._tracer: "Tracer | None" = None
         self._anchored: list[int] | None = None
+        # Skew-timeline recorder (``None`` when the observatory is off);
+        # picked up ambiently at attach time, see ``attach_timeline``.
+        self._timeline: "TimelineRecorder | None" = None
         # Dense-array sampling (see repro.core.batch): the owning simulator
         # when installed on one, and the discovered NodeArrayTable.
         # ``_table`` is ``None`` until a table appears in sim.subsystems
@@ -242,6 +270,38 @@ class StreamingOracle:
                 max_recorded=self.max_recorded,
             )
         self._edge_monitors = [m for m in self.monitors if m.tracks_edges]
+        # Ambient skew-timeline pickup (repro.obs): attach is the one
+        # choke point every driver goes through -- the sim runner's
+        # install(), the live runtime and standalone wirings all land
+        # here -- so a recorder activated by ``--bundle`` hooks every
+        # runtime with a single definition.  Imported lazily to keep the
+        # oracle importable before repro.obs (and its harness-facing
+        # bundle layer) finishes loading.
+        if self._timeline is None:
+            from ..obs.timeline import active_timeline
+
+            self._timeline = active_timeline()
+        if self._timeline is not None:
+            self._bind_timeline()
+
+    def attach_timeline(self, timeline: "TimelineRecorder") -> None:
+        """Record the skew timeline of this oracle's run into ``timeline``.
+
+        Mirrors :meth:`attach_tracer`: explicit wiring for standalone
+        use, while :meth:`attach` picks the ambient recorder up
+        automatically.  Binding resets the recorder's captured state
+        (last bound run wins -- bundle assembly happens per run).
+        """
+        self._timeline = timeline
+        if self._installed:
+            self._bind_timeline()
+
+    def _bind_timeline(self) -> None:
+        timeline = self._timeline
+        assert timeline is not None
+        timeline.bind(
+            self.params, self._node_ids, bound_scale=self.bound_scale
+        )
 
     def attach_graph(self, graph: DynamicGraph) -> None:
         """Subscribe to graph mutations and seed current edges at age 0.
@@ -331,6 +391,8 @@ class StreamingOracle:
         """Feed one topology mutation to the edge-tracking monitors."""
         for monitor in self._edge_monitors:
             monitor.on_edge_event(time, u, v, added)
+        if self._timeline is not None:
+            self._timeline.edge_event(time, u, v, added)
 
     # ------------------------------------------------------------------ #
     # Sampling
@@ -386,6 +448,17 @@ class StreamingOracle:
         self.samples_seen += 1
         if self._tracer is not None:
             self._anchor_new_violations(t)
+        timeline = self._timeline
+        if timeline is not None:
+            # Reuses the columns computed above: capture adds zero node
+            # reads, draws no RNG and schedules nothing (neutrality is
+            # pinned by the golden tests with capture on).
+            timeline.record(
+                t,
+                clocks,
+                estimates,
+                violations=sum(m.violation_count for m in self.monitors),
+            )
 
     # ------------------------------------------------------------------ #
     # Verdict

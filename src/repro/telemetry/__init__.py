@@ -27,7 +27,7 @@ from .registry import (
 )
 from .sampler import GcWatcher, TelemetrySampler
 from .schema import FRAME_VERSION, FrameError, validate_frame
-from .top import follow_frames, read_frames, render_snapshot
+from .top import follow_frames, read_frames, render_snapshot, render_sweep_dir
 
 __all__ = [
     "FRAME_VERSION",
@@ -46,5 +46,6 @@ __all__ = [
     "get_registry",
     "read_frames",
     "render_snapshot",
+    "render_sweep_dir",
     "validate_frame",
 ]

@@ -20,7 +20,7 @@ from typing import Any, Iterator, TextIO
 from ..analysis.report import TextTable
 from .schema import FrameError, validate_frame
 
-__all__ = ["follow_frames", "read_frames", "render_snapshot"]
+__all__ = ["follow_frames", "read_frames", "render_snapshot", "render_sweep_dir"]
 
 #: ANSI: clear screen + home cursor (follow-mode repaint).
 CLEAR_SCREEN = "\x1b[2J\x1b[H"
@@ -98,7 +98,13 @@ def _rate(
     before = prev["counters"].get(name)
     if before is None:
         before = 0
-    return (float(frame["counters"][name]) - float(before)) / dt
+    rate = (float(frame["counters"][name]) - float(before)) / dt
+    if rate < 0.0:
+        # A counter can only go backwards if the stream is disordered (a
+        # rotated file replayed out of order, or a writer restart) -- a
+        # blank beats printing a nonsense negative rate.
+        return None
+    return rate
 
 
 def _fmt_quantity(value: float | int | None) -> str:
@@ -154,6 +160,45 @@ def render_snapshot(
         lines.append("")
         lines.extend(derived)
     return "\n".join(lines) + "\n"
+
+
+def render_sweep_dir(path: str) -> str:
+    """Render a ``sweep --metrics-dir`` directory as a per-point table.
+
+    Each ``*.jsonl`` file under ``path`` holds the single end-of-run frame
+    of one executed sweep point (cached points leave no file), named by
+    the point's config-hash prefix.  ``t_wall`` in those frames is the
+    point's elapsed wall time, so rates here are whole-run averages.
+    """
+    files = sorted(f for f in os.listdir(path) if f.endswith(".jsonl"))
+    table = TextTable(
+        ["point", "source", "events", "events/s", "sent", "delivered", "wall s"],
+        title=(
+            f"sweep telemetry {path} "
+            f"({len(files)} point{'s' if len(files) != 1 else ''})"
+        ),
+    )
+    for fname in files:
+        frames = read_frames(os.path.join(path, fname))
+        if not frames:
+            continue
+        frame = frames[-1]
+        counters = frame["counters"]
+        t_wall = float(frame["t_wall"])
+        events = counters.get("kernel.events_dispatched")
+        ev_rate = float(events) / t_wall if events is not None and t_wall > 0 else None
+        table.add_row(
+            (
+                fname[: -len(".jsonl")],
+                str(frame.get("source") or "run"),
+                _fmt_quantity(events),
+                f"{ev_rate:,.0f}" if ev_rate is not None else "",
+                _fmt_quantity(counters.get("transport.sent")),
+                _fmt_quantity(counters.get("transport.delivered")),
+                f"{t_wall:.2f}",
+            )
+        )
+    return table.render()
 
 
 def _derived_lines(

@@ -47,6 +47,10 @@ class TestDirection:
             ("points[0].events_per_sec", 1),
             ("spans", 0),
             ("n", 0),
+            ("oracle_violations", -1),
+            ("oracle_worst_margin", 1),
+            ("margin_envelope", 1),
+            ("margin_time_envelope", 0),
         ],
     )
     def test_metric_name_maps_to_direction(self, path, sense):
@@ -116,3 +120,59 @@ class TestCli:
         ok = _write(tmp_path, "ok.json", _artifact())
         with pytest.raises(SystemExit):
             bench_compare.main([missing, ok])
+
+
+def _ledger_record(**over) -> dict:
+    base = {
+        "ledger_version": 1,
+        "version": "1.0.0",
+        "kind": "run",
+        "workload": "static_path",
+        "run_id": "abc123",
+        "recorded_unix": 1.0,
+        "bundle_path": "/tmp/b",
+        "oracle_ok": True,
+        "oracle_violations": 0,
+        "oracle_worst_margin": 5.0,
+        "margin_envelope": 5.0,
+        "margin_time_envelope": 30.0,
+        "events_per_sec": 50_000,
+        "wall_seconds": 0.5,
+    }
+    base.update(over)
+    return base
+
+
+class TestLedgerRecords:
+    def test_ledger_records_compare_directionally(self, tmp_path, capsys):
+        old = _write(tmp_path, "a.json", _ledger_record())
+        worse = _write(
+            tmp_path,
+            "b.json",
+            _ledger_record(
+                run_id="def456",
+                oracle_worst_margin=1.0,
+                margin_envelope=1.0,
+                margin_time_envelope=10.0,
+            ),
+        )
+        assert bench_compare.main([old, worse]) == 1
+        out = capsys.readouterr().out
+        assert "ledger:static_path" in out
+        assert "oracle_worst_margin" in out
+        # Identity/timestamp fields never diff; margin times stay
+        # informational.
+        assert "run_id" not in out
+        assert "recorded_unix" not in out
+        report = bench_compare.compare(
+            bench_compare._load(old), bench_compare._load(worse), 0.10
+        )
+        assert "margin_time_envelope" not in report["regressions"]
+
+    def test_different_workloads_never_compare(self, tmp_path, capsys):
+        a = _write(tmp_path, "a.json", _ledger_record())
+        b = _write(
+            tmp_path, "b.json", _ledger_record(workload="backbone_churn")
+        )
+        assert bench_compare.main([a, b]) == 2
+        assert "different benchmarks" in capsys.readouterr().err
