@@ -10,10 +10,12 @@ wrong way by more than the threshold:
 
 * metrics whose name ends in ``seconds``, ``overhead``, ``dropped``,
   ``lost`` or ``violations`` are better **lower**;
-* metrics whose name contains ``per_sec``, or is an oracle margin
-  (``worst_margin``, ``margin_<monitor>`` -- but not the informational
-  ``margin_time_*`` timestamps), are better **higher**;
+* metrics whose name contains ``per_sec`` or ``speedup``, or is an
+  oracle margin (``worst_margin``, ``margin_<monitor>`` -- but not the
+  informational ``margin_time_*`` timestamps), are better **higher**;
 * boolean metrics regress when they flip ``true -> false``;
+* ``null`` on either side means "not measured here" (e.g. the parallel
+  speedup gate on a host with too few CPUs) and never fails;
 * everything else is informational (reported, never failing).
 
 Cross-run **ledger records** (``benchmarks/.ledger/<run_id>.json``,
@@ -46,7 +48,7 @@ from typing import Any, Iterator
 #: Metric-name suffixes where a lower value is an improvement.
 LOWER_IS_BETTER = ("seconds", "overhead", "dropped", "lost", "violations")
 #: Metric-name fragments where a higher value is an improvement.
-HIGHER_IS_BETTER = ("per_sec",)
+HIGHER_IS_BETTER = ("per_sec", "speedup")
 
 #: Ledger-record fields that are identity/timestamps, not metrics.
 _LEDGER_SKIP = ("run_id", "recorded_unix", "bundle_path", "ledger_version")
@@ -92,6 +94,11 @@ def compare(
         if path in ("bench", "version"):
             continue
         a, b = old_leaves[path], new_leaves[path]
+        if a is None or b is None:
+            # A null metric means "not measured here" (e.g. the parallel
+            # speedup gate on a host with too few CPUs) -- never a
+            # regression, in either direction.
+            continue
         if isinstance(a, bool) or isinstance(b, bool):
             if a != b:
                 regressed = bool(a) and not bool(b)

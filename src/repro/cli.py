@@ -512,6 +512,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
     except (KeyError, TypeError, ValueError, argparse.ArgumentTypeError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.shards is not None:
+        from dataclasses import replace
+
+        from .harness.registry import RuntimeRef
+
+        if args.shards < 1:
+            print("error: --shards must be >= 1", file=sys.stderr)
+            return 2
+        cfg = replace(
+            cfg, runtime=RuntimeRef("par", {"shards": args.shards})
+        )
     profiler = None
     if args.profile:
         import cProfile
@@ -596,7 +607,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
         dest = sys.stderr if args.json else sys.stdout
         stats = pstats.Stats(profiler, stream=dest)
         stats.sort_stats("cumulative")
-        print(f"\nprofile: top {PROFILE_TOP_N} by cumulative time", file=dest)
+        # Profiling is the entry point for kernel perf work, so say up
+        # front which dispatch path actually ran: a declined batch kernel
+        # is the most common reason a profile looks scalar-heavy.
+        if result.batch_gate_reason is not None:
+            print(
+                f"\nprofile: batch kernel declined -- "
+                f"{result.batch_gate_reason}",
+                file=dest,
+            )
+        else:
+            print("\nprofile: batch kernel active", file=dest)
+        if result.par_fallback_reason is not None:
+            print(
+                f"profile: parallel fallback -- {result.par_fallback_reason}",
+                file=dest,
+            )
+        print(f"profile: top {PROFILE_TOP_N} by cumulative time", file=dest)
         stats.print_stats(PROFILE_TOP_N)
     return 0 if report is None or report.ok else 1
 
@@ -1242,6 +1269,13 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help=f"profile the run with cProfile; print the top {PROFILE_TOP_N} "
         "entries by cumulative time",
+    )
+    p_run.add_argument(
+        "--shards",
+        type=int,
+        metavar="K",
+        help="run on the parallel shard backend with K workers "
+        "(bit-identical to serial; see docs/performance.md)",
     )
     p_run.add_argument(
         "--json",

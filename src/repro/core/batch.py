@@ -96,11 +96,17 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checking
     from ..network.transport import Transport
     from .node import ClockSyncNode
 
-__all__ = ["NodeArrayTable", "build_node_array_table"]
+__all__ = ["NodeArrayTable", "build_node_array_table", "REASON_KEY"]
 
 #: ``sim.subsystems`` key under which the built table (or ``False`` for a
 #: permanently-invalid execution) is cached.
 SUBSYSTEM_KEY = "node_array_table"
+
+#: ``sim.subsystems`` key under which :func:`build_node_array_table` records
+#: why it declined to build (the *first* failing gate, as a human-readable
+#: string).  Surfaced on ``RunResult.summary()`` and ``--profile`` output so
+#: a silent scalar fallback is explainable after the fact.
+REASON_KEY = "node_array_table_reason"
 
 _TICK = "tick"
 
@@ -740,33 +746,52 @@ def build_node_array_table(
     """
     from ..network.channels import ConstantDelay
 
+    def _decline(reason: str) -> None:
+        # First failing gate wins: a later lazy re-probe must not
+        # overwrite the reason users will be debugging against.
+        sim.subsystems.setdefault(REASON_KEY, reason)
+
     node_table = sim.subsystems.get("node_table")
     if node_table is None:
+        _decline("no dense node table attached to the simulator")
         return None
     drivers: "list[ClockSyncNode | None]" = node_table.drivers
     if not drivers:
+        _decline("node table is empty")
         return None
     node_seq = transport._node_seq
     if len(node_seq) != len(drivers):
+        _decline("transport and node table disagree on the node population")
         return None
     if transport._trace is not None or transport._tracer is not None:
+        _decline("tracing is active on the transport")
         return None
     checked: "list[ClockSyncNode]" = []
     rates: list[float] = []
     params: Any = None
     for i, d in enumerate(drivers):
         if d is None or (i >= len(node_seq) or node_seq[i] is not d):
+            _decline(f"node id {i} has no registered driver")
             return None
         if type(d.core) is not DCSACore:
+            _decline(
+                f"node {i} runs {type(d.core).__name__}, not a plain DCSACore"
+            )
             return None
         clock = d.clock
         if type(clock) is not ConstantRateClock or clock.rate <= 0.0:
+            _decline(
+                f"node {i} clock is {type(clock).__name__}, not a "
+                "positive-rate ConstantRateClock"
+            )
             return None
         if d.effect_log is not None or d._tracer is not None or d.trace.enabled:
+            _decline(f"node {i} has a per-event observer attached")
             return None
         if params is None:
             params = d.core.params
         elif d.core.params is not params:
+            _decline(f"node {i} does not share the population's SystemParams")
             return None
         checked.append(d)
         rates.append(clock.rate)

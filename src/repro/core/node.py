@@ -317,10 +317,14 @@ class ClockSyncNode:
         if fire_t < now:
             fire_t = now
         # Typed record, no closure: the kernel routes KIND_TIMER through
-        # the shared dispatcher, which calls _fire_timer(key).
+        # the shared dispatcher, which calls _fire_timer(key).  The arm
+        # time and phase ride in the free d/e slots (c stays reserved for
+        # the lazy-deadline re-arm): the parallel shard backend keys timer
+        # provenance on (arm time, phase, node id), which is deterministic
+        # across shard counts where a local sequence number is not.
         self._timers[key] = self._push(
-            fire_t, PRIORITY_TIMER, KIND_TIMER, self, key, None, None,
-            None, "timer",
+            fire_t, PRIORITY_TIMER, KIND_TIMER, self, key, None, now,
+            None, "timer", e=1 if sim.in_run else 0,
         )
 
     def cancel_timer(self, key: Any) -> bool:

@@ -380,10 +380,49 @@ class RuntimeRef:
 
 @register_runtime("sim")
 def _run_sim_runtime(cfg: "ExperimentConfig") -> "RunResult":
-    """The discrete-event runtime (the default; see repro.harness.runner)."""
+    """The discrete-event runtime (the default; see repro.harness.runner).
+
+    ``REPRO_SHARDS=K`` (K >= 2) reroutes the run through the parallel
+    shard backend, which is bit-identical to serial when it genuinely
+    shards and falls back to this runtime otherwise -- an environment
+    override rather than a config field, so sweep identities (which hash
+    the config) are unaffected.
+    """
+    import os
+
+    raw = os.environ.get("REPRO_SHARDS", "")
+    if raw:
+        try:
+            shards = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_SHARDS must be an integer; got {raw!r}"
+            ) from None
+        if shards >= 2:
+            from ..sim.par import run_par
+
+            return run_par(cfg, shards)
     from .runner import Experiment
 
     return Experiment(cfg).run()
+
+
+@register_runtime("par")
+def _run_par_runtime(cfg: "ExperimentConfig", shards: int = 2) -> "RunResult":
+    """The space-partitioned parallel backend (see repro.sim.par).
+
+    Bit-identical to ``"sim"`` when the config supports genuine sharding;
+    otherwise runs serially and records ``par_fallback_reason`` on the
+    result.  Note that ``shards`` lives in ``RuntimeRef.kwargs`` and so
+    participates in sweep hashing: ``RuntimeRef("par", {"shards": 2})``
+    and ``{"shards": 4}`` cache as *different* sweep entries even though
+    their results are bitwise identical.  Use ``REPRO_SHARDS`` to
+    parallelise an existing ``"sim"`` sweep without invalidating its
+    cache.
+    """
+    from ..sim.par import run_par
+
+    return run_par(cfg, shards)
 
 
 @register_runtime("live")

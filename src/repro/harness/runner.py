@@ -357,6 +357,16 @@ class RunResult:
     spans: SpanTable | None = None
     #: Forensic cause reports, filled by ``repro.tracing.explain_result``.
     cause_reports: list[Any] = field(default_factory=list)
+    #: Why the batch kernel's dense-array fast path declined to engage
+    #: (first failing gate of ``build_node_array_table``), or ``None`` when
+    #: it engaged, was never probed, or the run was scalar-only.
+    batch_gate_reason: str | None = None
+    #: Why a ``"par"``-runtime run fell back to the serial backend, or
+    #: ``None`` when the run was serial by construction or genuinely
+    #: sharded (see :mod:`repro.sim.par`).
+    par_fallback_reason: str | None = None
+    #: Shard count for a genuinely sharded run (``None`` otherwise).
+    par_shards: int | None = None
 
     @property
     def params(self) -> SystemParams:
@@ -414,6 +424,12 @@ class RunResult:
                 f"  trace records dropped: {self.trace.dropped} "
                 f"(capacity {self.trace.capacity})"
             )
+        if self.batch_gate_reason is not None:
+            lines.append(f"  batch kernel declined: {self.batch_gate_reason}")
+        if self.par_shards is not None:
+            lines.append(f"  parallel backend: {self.par_shards} shards")
+        if self.par_fallback_reason is not None:
+            lines.append(f"  parallel fallback: {self.par_fallback_reason}")
         lines.append(
             f"  events: {self.events_dispatched}  messages: "
             f"{self.transport_stats['sent']} sent / "
@@ -682,6 +698,8 @@ class Experiment:
                 times=np.empty(0),
                 clocks=np.empty((0, len(node_ids))),
             )
+        from ..core.batch import REASON_KEY
+
         return RunResult(
             config=self.cfg,
             record=record,
@@ -692,6 +710,7 @@ class Experiment:
             trace=self.trace,
             oracle_report=self.oracle.report() if self.oracle is not None else None,
             spans=self.tracer.table if self.tracer is not None else None,
+            batch_gate_reason=self.sim.subsystems.get(REASON_KEY),
         )
 
 

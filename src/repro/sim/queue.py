@@ -148,6 +148,65 @@ class EventQueue:
         self._live += 1
         return ev
 
+    def push_keyed(
+        self,
+        time: float,
+        priority: int,
+        key: tuple[Any, ...],
+        kind: int,
+        a: Any = None,
+        b: Any = None,
+        c: Any = None,
+        d: Any = None,
+        fn: Callable[..., Any] | None = None,
+        label: str = "",
+        e: Any = None,
+    ) -> ScheduledEvent:
+        """Schedule a typed record with an explicit tie-break ``key``.
+
+        Identical to :meth:`push_typed` except the heap's third slot -- the
+        final tie-break within a ``(time, priority)`` class -- is the
+        caller-supplied tuple instead of the local insertion counter.  The
+        parallel shard backend (:mod:`repro.sim.par`) uses this to place
+        records at their *global* serial position: tuples from the same
+        deterministic keying scheme compare identically in every shard, so
+        cross-shard deliveries merge in exactly the serial tie order.
+
+        The caller owns comparability: within one ``(time, priority)``
+        class, every record must carry a tuple key from the same scheme
+        (a tuple/int mix raises ``TypeError`` deep in ``heapq``).  The
+        local insertion counter still advances so push totals (and the
+        pool-hit-rate metric) stay meaningful.
+        """
+        seq = self._seq
+        self._seq = seq + 1
+        free = self._free
+        if free:
+            ev = free.pop()
+            ev.time = time
+            ev.priority = priority
+            ev.seq = key  # type: ignore[assignment]
+            ev.kind = kind
+            ev.fn = fn
+            ev.a = a
+            ev.b = b
+            ev.c = c
+            ev.d = d
+            ev.e = e
+            ev.cancelled = False
+            ev.gen += 1
+            ev.label = label
+        else:
+            self.allocations += 1
+            ev = ScheduledEvent(
+                time, priority, key, fn, label,  # type: ignore[arg-type]
+                kind=kind, a=a, b=b, c=c, d=d, e=e,
+            )
+        ev.queued = True
+        heapq.heappush(self._heap, (time, priority, key, ev))  # type: ignore[arg-type]
+        self._live += 1
+        return ev
+
     def repush(self, ev: ScheduledEvent, time: float) -> None:
         """Re-insert a just-popped record at ``time`` (periodic re-arm).
 

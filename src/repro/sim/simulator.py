@@ -99,6 +99,7 @@ class Simulator:
         "_handlers",
         "_batch_handlers",
         "kind_counts",
+        "in_run",
     )
 
     def __init__(
@@ -129,6 +130,11 @@ class Simulator:
         #: loop pays a single ``is not None`` check while telemetry is off
         #: (same discipline as the ``NULL_TRACE`` guard).
         self.kind_counts: list[int] | None = None
+        #: Whether :meth:`run_until` has been entered at least once.  Set
+        #: (and never cleared) at the top of the first run so setup-phase
+        #: scheduling is distinguishable from run-time scheduling -- the
+        #: parallel shard backend keys timer provenance on this phase bit.
+        self.in_run = False
 
     def instrument(self, registry: "MetricsRegistry") -> None:
         """Register kernel metrics as polled readbacks on ``registry``.
@@ -341,6 +347,7 @@ class Simulator:
             raise SimulationError(
                 f"cannot run to t={t_end!r} < now={self.now!r}"
             )
+        self.in_run = True
         # The kernel's hottest loop: _dispatch is inlined here (step() keeps
         # the single-step definition for callers that need it).
         queue = self.queue
